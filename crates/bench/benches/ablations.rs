@@ -1,0 +1,155 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Oversubscription factor** — the paper fixes `x = 2`; sweep
+//!   `x ∈ {1.0, 1.5, 2.0, 3.0}` on a contended workload (§3.3 says the
+//!   policy is reconfigurable).
+//! * **Scheduling-predicate throughput** — Algorithm 1 evaluations per
+//!   second (the kernel hot path).
+//! * **Extension begin/end throughput** — full progress-monitor
+//!   round-trips with and without the fast path.
+//! * **Functional cache hierarchy** — accesses per second of the
+//!   trace-replay validator.
+//! * **CFS substrate** — pick/charge/yield cycle throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::{mb, PolicyKind, PpDemand, RdaConfig, RdaExtension, SiteId};
+use rda_core::monitor::ResourceMonitor;
+use rda_core::predicate::try_schedule;
+use rda_machine::cache::CacheHierarchy;
+use rda_machine::{MachineConfig, ReuseLevel};
+use rda_sched::{CfsScheduler, ProcessId, SchedConfig};
+use rda_sim::{SimConfig, SystemSim};
+use rda_simcore::SimTime;
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::hint::black_box;
+
+fn contended_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "contended".into(),
+        processes: (0..10)
+            .map(|_| ProcessProgram {
+                threads: 2,
+                phases: vec![Phase::tracked(
+                    "hot",
+                    6_000_000,
+                    mb(4.0),
+                    ReuseLevel::High,
+                    SiteId(0),
+                )],
+            })
+            .collect(),
+    }
+}
+
+fn oversubscription_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/oversubscription");
+    g.sample_size(10);
+    for factor in [1.0f64, 1.5, 2.0, 3.0] {
+        g.bench_function(format!("x{factor}"), |b| {
+            let spec = contended_spec();
+            let policy = PolicyKind::Compromise { factor };
+            b.iter(|| {
+                let r = SystemSim::new(SimConfig::paper_default(policy), &spec)
+                    .run()
+                    .unwrap();
+                black_box((r.measurement.wall_secs, r.measurement.system_joules()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn predicate_throughput(c: &mut Criterion) {
+    let mut monitor = ResourceMonitor::new(mb(15.0), u64::MAX / 2);
+    monitor.increment_load(rda_core::Resource::Llc, mb(9.0));
+    let demand = PpDemand::llc(mb(3.0), ReuseLevel::High);
+    for policy in [PolicyKind::Strict, PolicyKind::compromise_default()] {
+        c.bench_function(&format!("ablation/predicate/{policy}"), |b| {
+            b.iter(|| black_box(try_schedule(&demand, &monitor, &policy)))
+        });
+    }
+}
+
+fn extension_roundtrip(c: &mut Criterion) {
+    // Slow path: alternate two sites so the decision cache never warms.
+    c.bench_function("ablation/extension/begin_end_slow", |b| {
+        let mut ext = RdaExtension::new(RdaConfig::for_machine(
+            &MachineConfig::xeon_e5_2420(),
+            PolicyKind::Strict,
+        ));
+        let d = PpDemand::llc(mb(2.0), ReuseLevel::High);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000; // stays past the freshness horizon
+            let site = SiteId((t / 1_000_000 % 2) as u32);
+            match ext.pp_begin(ProcessId(0), site, d, SimTime::from_cycles(t)) {
+                rda_core::BeginOutcome::Run { pp, .. } => {
+                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)));
+                }
+                _ => unreachable!(),
+            }
+        })
+    });
+    // Fast path: repeat the same site within the freshness horizon.
+    c.bench_function("ablation/extension/begin_end_fast", |b| {
+        let mut ext = RdaExtension::new(RdaConfig::for_machine(
+            &MachineConfig::xeon_e5_2420(),
+            PolicyKind::Strict,
+        ));
+        let d = PpDemand::llc(mb(2.0), ReuseLevel::High);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            match ext.pp_begin(ProcessId(0), SiteId(0), d, SimTime::from_cycles(t)) {
+                rda_core::BeginOutcome::Run { pp, .. } => {
+                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)));
+                }
+                _ => unreachable!(),
+            }
+        })
+    });
+}
+
+fn cache_hierarchy_throughput(c: &mut Criterion) {
+    c.bench_function("ablation/cache_hierarchy/streaming_access", |b| {
+        let mut h = CacheHierarchy::new(&MachineConfig::small_test());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            h.access(0, addr % (32 * 1024 * 1024));
+            black_box(())
+        })
+    });
+}
+
+fn cfs_cycle(c: &mut Criterion) {
+    c.bench_function("ablation/cfs/pick_charge_yield", |b| {
+        let mut s = CfsScheduler::new(SchedConfig::from_machine(&MachineConfig::xeon_e5_2420()));
+        for i in 0..24 {
+            let t = s.add_task(ProcessId(i));
+            s.wake(t);
+        }
+        b.iter(|| {
+            for core in 0..12 {
+                if s.running_on(core).is_none() {
+                    let _ = s.pick_next(core);
+                }
+                if s.running_on(core).is_some() {
+                    s.charge(core, 1_000);
+                    s.yield_current(core);
+                }
+            }
+            black_box(s.nr_queued())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    oversubscription_sweep,
+    predicate_throughput,
+    extension_roundtrip,
+    cache_hierarchy_throughput,
+    cfs_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench: Figure 10 regeneration (efficiency metric derivation from a
+//! measurement, plus a reduced end-to-end run).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::{mb, PolicyKind, SiteId};
+use rda_machine::ReuseLevel;
+use rda_metrics::Measurement;
+use rda_sim::{SimConfig, SystemSim};
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let spec = WorkloadSpec {
+        name: "mini-vol".into(),
+        processes: (0..8)
+            .map(|_| ProcessProgram {
+                threads: 2,
+                phases: vec![Phase::tracked("render", 5_000_000, mb(1.8), ReuseLevel::High, SiteId(0))],
+            })
+            .collect(),
+    };
+    let run: Measurement = SystemSim::new(SimConfig::paper_default(PolicyKind::Strict), &spec)
+        .run()
+        .unwrap()
+        .measurement;
+    g.bench_function("efficiency_run/compromise", |b| {
+        b.iter(|| {
+            let r = SystemSim::new(
+                SimConfig::paper_default(PolicyKind::compromise_default()),
+                &spec,
+            )
+            .run()
+            .unwrap();
+            black_box(r.measurement.gflops_per_watt())
+        })
+    });
+    g.finish();
+    c.bench_function("fig10/derive_metric", |b| {
+        b.iter(|| black_box(run.gflops_per_watt()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

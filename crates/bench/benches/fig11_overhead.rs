@@ -1,0 +1,39 @@
+//! Bench: Figure 11 regeneration (granularity study at a reduced trip
+//! count) and the fast-path decision cache itself.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::fastpath::FastPathCache;
+use rda_core::{Resource, SiteId};
+use rda_sched::ProcessId;
+use rda_sim::overhead::granularity_study;
+use rda_simcore::SimTime;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("granularity_study/n16", |b| {
+        b.iter(|| black_box(granularity_study(16)))
+    });
+    g.finish();
+
+    c.bench_function("fig11/fastpath_hit", |b| {
+        let mut cache = FastPathCache::new();
+        cache.store_run(ProcessId(0), SiteId(0), Resource::Llc, 100, 1000, SimTime::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(cache.try_admit(
+                ProcessId(0),
+                SiteId(0),
+                Resource::Llc,
+                100,
+                0,
+                SimTime::from_cycles(t % 400),
+                500,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

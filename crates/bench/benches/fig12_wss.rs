@@ -1,0 +1,38 @@
+//! Bench: Figure 12 regeneration (trace → windows → detection →
+//! regression pipeline on a small water input ladder).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_profiler::window::{windowize, WindowConfig};
+use rda_profiler::wss::wss_study;
+use rda_workloads::splash::water;
+use rda_workloads::trace::TraceRecorder;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("wss_pipeline/water_tiny_ladder", |b| {
+        let cfg = WindowConfig {
+            window_ops: 5_000,
+            wss_min_accesses: 2,
+            line_bytes: 64,
+        };
+        b.iter(|| {
+            black_box(wss_study("W", &[40, 80, 160, 320], 1, &cfg, |m, rec| {
+                water::run_nsquared_traced(m, 0.4, rec);
+            }))
+        })
+    });
+    g.finish();
+
+    // Window statistics throughput on a fixed trace.
+    let rec = TraceRecorder::new();
+    water::run_nsquared_traced(200, 0.4, &rec);
+    let trace = rec.take();
+    let cfg = WindowConfig::default();
+    c.bench_function("fig12/windowize", |b| {
+        b.iter(|| black_box(windowize(&trace, &cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: Figure 13 regeneration (reduced interference matrix).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_sim::concurrency::interference_study_for;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("interference/512mol_1_6", |b| {
+        b.iter(|| black_box(interference_study_for(&[512], &[1, 6])))
+    });
+    g.bench_function("interference/8000mol_6_12", |b| {
+        b.iter(|| black_box(interference_study_for(&[8000], &[6, 12])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

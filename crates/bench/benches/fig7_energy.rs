@@ -1,0 +1,40 @@
+//! Bench: Figure 7 regeneration on a reduced workload (system-energy
+//! measurement of a gated vs ungated co-schedule).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::{mb, PolicyKind, SiteId};
+use rda_machine::ReuseLevel;
+use rda_sim::{SimConfig, SystemSim};
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::hint::black_box;
+
+fn mini_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mini-wnsq".into(),
+        processes: (0..6)
+            .map(|_| ProcessProgram {
+                threads: 2,
+                phases: vec![Phase::tracked("interf", 10_000_000, mb(3.6), ReuseLevel::High, SiteId(0))],
+            })
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for policy in [PolicyKind::DefaultOnly, PolicyKind::Strict] {
+        g.bench_function(format!("energy_run/{policy}"), |b| {
+            let spec = mini_spec();
+            b.iter(|| {
+                let r = SystemSim::new(SimConfig::paper_default(policy), &spec)
+                    .run()
+                    .unwrap();
+                black_box(r.measurement.system_joules())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

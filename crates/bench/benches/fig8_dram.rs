@@ -1,0 +1,46 @@
+//! Bench: Figure 8 regeneration on a reduced workload (DRAM-energy
+//! accounting path).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::{mb, PolicyKind, SiteId};
+use rda_machine::ReuseLevel;
+use rda_sim::{SimConfig, SystemSim};
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::hint::black_box;
+
+fn mini_blas3() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mini-blas3".into(),
+        processes: (0..12)
+            .map(|i| ProcessProgram {
+                threads: 1,
+                phases: vec![Phase::tracked(
+                    "dgemm",
+                    8_000_000,
+                    mb([1.6, 2.4, 2.4, 3.2][i % 4]),
+                    ReuseLevel::High,
+                    SiteId((i % 4) as u32),
+                )],
+            })
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for policy in [PolicyKind::DefaultOnly, PolicyKind::Strict] {
+        g.bench_function(format!("dram_energy_run/{policy}"), |b| {
+            let spec = mini_blas3();
+            b.iter(|| {
+                let r = SystemSim::new(SimConfig::paper_default(policy), &spec)
+                    .run()
+                    .unwrap();
+                black_box(r.measurement.dram_joules())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

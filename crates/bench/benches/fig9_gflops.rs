@@ -1,0 +1,46 @@
+//! Bench: Figure 9 regeneration on a reduced workload (GFLOPS
+//! measurement), plus the underlying co-run rate solver.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_core::{mb, PolicyKind, SiteId};
+use rda_machine::{AccessProfile, MachineConfig, PerfModel, ReuseLevel};
+use rda_sim::{SimConfig, SystemSim};
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let spec = WorkloadSpec {
+        name: "mini-ray".into(),
+        processes: (0..8)
+            .map(|_| ProcessProgram {
+                threads: 4,
+                phases: vec![Phase::tracked("render", 5_000_000, mb(5.1), ReuseLevel::High, SiteId(0))],
+            })
+            .collect(),
+    };
+    g.bench_function("gflops_run/strict", |b| {
+        b.iter(|| {
+            let r = SystemSim::new(SimConfig::paper_default(PolicyKind::Strict), &spec)
+                .run()
+                .unwrap();
+            black_box(r.measurement.gflops())
+        })
+    });
+    g.finish();
+
+    // The hot inner kernel of every figure: the co-run rate solver.
+    let model = PerfModel::new(MachineConfig::xeon_e5_2420());
+    let entries: Vec<(AccessProfile, u64)> = (0..12)
+        .map(|_| {
+            let p = AccessProfile::typical(mb(5.1), ReuseLevel::High);
+            (p, mb(1.3))
+        })
+        .collect();
+    c.bench_function("fig9/solve_corun_12way", |b| {
+        b.iter(|| black_box(model.solve_corun(&entries)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: Table 1 regeneration (machine-config construction,
+//! validation, rendering).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/construct_validate", |b| {
+        b.iter(|| {
+            let m = MachineConfig::xeon_e5_2420();
+            m.validate().unwrap();
+            black_box(m)
+        })
+    });
+    c.bench_function("table1/render", |b| {
+        let m = MachineConfig::xeon_e5_2420();
+        b.iter(|| black_box(m.to_table()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

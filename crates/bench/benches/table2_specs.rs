@@ -1,0 +1,15 @@
+//! Bench: Table 2 regeneration (workload-spec construction for all
+//! eight workloads and the table renderer).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rda_workloads::spec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2/build_all_workloads", |b| {
+        b.iter(|| black_box(spec::all_workloads()))
+    });
+    c.bench_function("table2/render", |b| b.iter(|| black_box(spec::table2())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

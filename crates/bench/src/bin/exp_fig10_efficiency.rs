@@ -1,0 +1,7 @@
+//! Reproduce Figure 10: GFLOPS per Watt per workload × policy.
+use rda_bench::headline_runs;
+
+fn main() {
+    let r = headline_runs();
+    println!("{}", r.fig10().to_text_table());
+}

@@ -1,0 +1,18 @@
+//! Reproduce Figure 11: progress-tracking overhead vs granularity.
+use rda_sim::overhead::{figure11, granularity_study, N};
+
+fn main() {
+    let pts = granularity_study(N);
+    println!("{}", figure11(&pts).to_text_table());
+    println!("granularity      periods   overhead   fast-path share");
+    for p in &pts {
+        println!(
+            "{:<18} {:>7}   {:>6.1} %   {:>5.1} %",
+            p.label,
+            p.periods,
+            p.overhead * 100.0,
+            p.fastpath_share * 100.0
+        );
+    }
+    println!("\n(paper: no-pp ~0 %, middle ~19 %, inner ~59 % overhead)");
+}

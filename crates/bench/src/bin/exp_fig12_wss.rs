@@ -1,0 +1,12 @@
+//! Reproduce Figure 12: working-set-size growth and log-regression
+//! prediction across input scales.
+use rda_bench::fig12::{ocean_series, render_series, water_series};
+
+fn main() {
+    println!("Figure 12 — WSS vs input size, log-regression prediction");
+    println!("(inputs scaled down from the paper's to keep exact traces tractable)\n");
+    for s in water_series().iter().chain(ocean_series().iter()) {
+        println!("{}", render_series(s));
+    }
+    println!("(paper accuracies: Wnsq 92 %/80 %, Ocp 95 %/94 %)");
+}

@@ -1,0 +1,9 @@
+//! Reproduce Figure 13: slowdown of the largest water_nsquared period
+//! under growing input size and concurrency.
+use rda_sim::concurrency::{figure13, interference_study};
+
+fn main() {
+    let pts = interference_study();
+    println!("{}", figure13(&pts).to_text_table());
+    println!("(paper: 512/3375 scale to 12; 8000 drops 33→20 GFLOPS from 6 to 12; 32768 flat)");
+}

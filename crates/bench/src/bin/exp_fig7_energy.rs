@@ -1,0 +1,7 @@
+//! Reproduce Figure 7: system energy per workload × policy.
+use rda_bench::headline_runs;
+
+fn main() {
+    let r = headline_runs();
+    println!("{}", r.fig7().to_text_table());
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 8: DRAM energy per workload × policy.
+use rda_bench::headline_runs;
+
+fn main() {
+    let r = headline_runs();
+    println!("{}", r.fig8().to_text_table());
+}

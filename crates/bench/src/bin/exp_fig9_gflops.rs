@@ -1,0 +1,7 @@
+//! Reproduce Figure 9: GFLOPS per workload × policy.
+use rda_bench::headline_runs;
+
+fn main() {
+    let r = headline_runs();
+    println!("{}", r.fig9().to_text_table());
+}

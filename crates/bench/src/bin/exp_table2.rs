@@ -1,0 +1,7 @@
+//! Reproduce Table 2: the eight workloads.
+use rda_workloads::spec;
+
+fn main() {
+    println!("Table 2 — Workloads used to test the scheduling extension");
+    println!("{}", spec::table2());
+}

@@ -1,0 +1,74 @@
+//! Shared driver for the Figures 7–10 experiments.
+//!
+//! All four headline figures come from the same 8 workloads × 3
+//! policies sweep; this module runs the sweep once (process-parallel
+//! across workloads via crossbeam scoped threads — each simulation is
+//! single-threaded and deterministic) and hands each `exp_fig*` binary
+//! its slice.
+
+use rda_metrics::FigureData;
+use rda_sim::experiment::{headline_figures, run_workload, PolicyRun};
+use rda_workloads::spec::all_workloads;
+
+/// The completed sweep.
+pub struct HeadlineResults {
+    /// Every (workload × policy) observation.
+    pub runs: Vec<PolicyRun>,
+    /// Figures 7, 8, 9, 10 in order.
+    pub figures: [FigureData; 4],
+}
+
+/// Run the full sweep (8 workloads × 3 policies). Workloads run in
+/// parallel on host threads; results are ordered deterministically.
+pub fn headline_runs() -> HeadlineResults {
+    let specs = all_workloads();
+    let mut slots: Vec<Option<Vec<PolicyRun>>> = (0..specs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (spec, slot) in specs.iter().zip(slots.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = Some(run_workload(spec));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    let runs: Vec<PolicyRun> = slots.into_iter().flat_map(|s| s.unwrap()).collect();
+    let figures = headline_figures(&runs);
+    HeadlineResults { runs, figures }
+}
+
+impl HeadlineResults {
+    /// Figure 7 (system energy).
+    pub fn fig7(&self) -> &FigureData {
+        &self.figures[0]
+    }
+
+    /// Figure 8 (DRAM energy).
+    pub fn fig8(&self) -> &FigureData {
+        &self.figures[1]
+    }
+
+    /// Figure 9 (GFLOPS).
+    pub fn fig9(&self) -> &FigureData {
+        &self.figures[2]
+    }
+
+    /// Figure 10 (GFLOPS/W).
+    pub fn fig10(&self) -> &FigureData {
+        &self.figures[3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let r = headline_runs();
+        assert_eq!(r.runs.len(), 8 * 3);
+        for fig in &r.figures {
+            assert_eq!(fig.categories().len(), 8, "{}", fig.id);
+            assert_eq!(fig.series.len(), 3, "{}", fig.id);
+        }
+    }
+}

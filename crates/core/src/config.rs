@@ -1,0 +1,72 @@
+//! Configuration of the RDA extension.
+
+use crate::policy::PolicyKind;
+use rda_machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the scheduling extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RdaConfig {
+    /// The active scheduling policy (§3.3).
+    pub policy: PolicyKind,
+    /// LLC capacity the resource monitor manages, bytes.
+    pub llc_capacity: u64,
+    /// Memory-bandwidth capacity, bytes/second (extension resource).
+    pub membw_capacity: u64,
+    /// Cost of a full (slow-path) `pp_begin`/`pp_end` call: syscall,
+    /// registry update, predicate evaluation, possible waitlist scan —
+    /// in cycles.
+    pub slow_call_cycles: u64,
+    /// Cost of a memoised fast-path call (user-level check against the
+    /// shared decision page), in cycles.
+    pub fast_call_cycles: u64,
+    /// Minimum interval between full predicate evaluations for the same
+    /// site; calls arriving sooner take the fast path when the cached
+    /// decision is still valid (see [`crate::fastpath`]).
+    pub min_eval_interval_cycles: u64,
+}
+
+impl RdaConfig {
+    /// Defaults bound to a machine: capacity from the machine's LLC and
+    /// peak DRAM bandwidth; call costs calibrated against Figure 11
+    /// (≈ 50 µs slow path — syscall + registry + predicate + possible
+    /// waitlist scan and reschedule — ≈ 0.55 µs fast path, 250 µs
+    /// re-evaluation interval at 1.9 GHz).
+    pub fn for_machine(m: &MachineConfig, policy: PolicyKind) -> Self {
+        let us = |micros: f64| (micros * 1e-6 * m.freq_hz).round() as u64;
+        RdaConfig {
+            policy,
+            llc_capacity: m.llc_bytes,
+            membw_capacity: m.dram_peak_bw as u64,
+            slow_call_cycles: us(50.0),
+            fast_call_cycles: us(0.55),
+            min_eval_interval_cycles: us(250.0),
+        }
+    }
+
+    /// Capacity of a resource under this configuration.
+    pub fn capacity(&self, resource: crate::api::Resource) -> u64 {
+        match resource {
+            crate::api::Resource::Llc => self.llc_capacity,
+            crate::api::Resource::MemBandwidth => self.membw_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Resource;
+
+    #[test]
+    fn defaults_follow_machine() {
+        let m = MachineConfig::xeon_e5_2420();
+        let c = RdaConfig::for_machine(&m, PolicyKind::Strict);
+        assert_eq!(c.llc_capacity, m.llc_bytes);
+        assert_eq!(c.capacity(Resource::Llc), m.llc_bytes);
+        assert_eq!(c.capacity(Resource::MemBandwidth), m.dram_peak_bw as u64);
+        
+        assert_eq!(c.slow_call_cycles, 95_000); // 50 us at 1.9 GHz
+        assert!(c.fast_call_cycles < c.slow_call_cycles / 50);
+    }
+}

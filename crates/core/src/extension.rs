@@ -1,0 +1,695 @@
+//! The progress monitor / scheduling extension (§3, Figures 2, 5, 6).
+//!
+//! [`RdaExtension`] is the component the simulation driver (and the
+//! examples) talk to. It owns the registry, resource monitor, waitlist,
+//! and fast-path cache, and implements the two workflows of Figures 5
+//! and 6:
+//!
+//! * **`pp_begin`** — allocate a period id, evaluate the scheduling
+//!   predicate (Algorithm 1), and either account the demand and let the
+//!   process run, or waitlist it (the caller pauses the process's
+//!   threads on the OS wait queue).
+//! * **`pp_end`** — remove the period from the registry, release its
+//!   demand from the resource monitor, then walk the waitlist FIFO
+//!   admitting every period that now fits (the caller wakes those
+//!   processes).
+//!
+//! Untracked processes are invisible here: *"Our system ignores
+//! processes that have not provided progress period information, and
+//! schedules them directly on the operating system."*
+
+use crate::api::{PpDemand, PpId, Resource, SiteId};
+use crate::config::RdaConfig;
+use crate::fastpath::FastPathCache;
+use crate::monitor::ResourceMonitor;
+use crate::policy::PolicyKind;
+use crate::predicate::{self, Decision};
+use crate::registry::PpRegistry;
+use crate::waitlist::{WaitEntry, Waitlist};
+use rda_sched::ProcessId;
+use rda_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Activity counters of the extension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdaStats {
+    /// `pp_begin` calls processed.
+    pub begins: u64,
+    /// `pp_end` calls processed.
+    pub ends: u64,
+    /// Periods admitted immediately at `pp_begin`.
+    pub admitted: u64,
+    /// Periods paused (waitlisted) at `pp_begin`.
+    pub paused: u64,
+    /// Periods later admitted from the waitlist.
+    pub resumed: u64,
+    /// `pp_begin` calls served by the fast path.
+    pub fast_begins: u64,
+    /// `pp_end` calls served by the fast path.
+    pub fast_ends: u64,
+    /// Largest waitlist length observed.
+    pub max_waitlist: u64,
+    /// Oversized demands admitted by the deadlock guard.
+    pub oversized_admits: u64,
+}
+
+/// Outcome of a `pp_begin` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginOutcome {
+    /// The policy is [`PolicyKind::DefaultOnly`]: the call is not
+    /// tracked at all (models an unmodified application on the stock
+    /// scheduler — zero overhead).
+    Bypass,
+    /// Admitted: the process keeps running. `fast` reports whether the
+    /// memoised fast path served the call (cost accounting).
+    Run {
+        /// The allocated period id.
+        pp: PpId,
+        /// Whether the fast path served the call.
+        fast: bool,
+    },
+    /// Denied: the caller must pause the process until the id is
+    /// returned by a later [`RdaExtension::pp_end`].
+    Pause {
+        /// The allocated (waitlisted) period id.
+        pp: PpId,
+    },
+}
+
+/// Outcome of a `pp_end` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndOutcome {
+    /// Whether the fast path served the call.
+    pub fast: bool,
+    /// Waitlisted periods admitted by this completion; the caller must
+    /// wake their processes.
+    pub resumed: Vec<(PpId, ProcessId)>,
+}
+
+/// The RDA scheduling extension.
+#[derive(Debug, Clone)]
+pub struct RdaExtension {
+    cfg: RdaConfig,
+    registry: PpRegistry,
+    monitor: ResourceMonitor,
+    waitlist: Waitlist,
+    fastpath: FastPathCache,
+    stats: RdaStats,
+}
+
+impl RdaExtension {
+    /// Build an extension with the given configuration.
+    pub fn new(cfg: RdaConfig) -> Self {
+        RdaExtension {
+            monitor: ResourceMonitor::new(cfg.llc_capacity, cfg.membw_capacity),
+            registry: PpRegistry::new(),
+            waitlist: Waitlist::new(),
+            fastpath: FastPathCache::new(),
+            stats: RdaStats::default(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RdaConfig {
+        &self.cfg
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.cfg.policy
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RdaStats {
+        self.stats
+    }
+
+    /// Current tracked usage of a resource.
+    pub fn usage(&self, r: Resource) -> u64 {
+        self.monitor.usage(r)
+    }
+
+    /// Iterate the admitted (running) periods.
+    pub fn iter_admitted(&self) -> impl Iterator<Item = &crate::registry::PpRecord> {
+        self.registry.iter().filter(|r| r.admitted)
+    }
+
+    /// Number of periods waiting on a resource.
+    pub fn waitlist_len(&self, r: Resource) -> usize {
+        self.waitlist.len(r)
+    }
+
+    /// Cycle cost of a call, by path (the simulation charges this to
+    /// the calling thread).
+    pub fn call_cost_cycles(&self, fast: bool) -> u64 {
+        if fast {
+            self.cfg.fast_call_cycles
+        } else {
+            self.cfg.slow_call_cycles
+        }
+    }
+
+    /// Process a `pp_begin` from `process` at static site `site`.
+    pub fn pp_begin(
+        &mut self,
+        process: ProcessId,
+        site: SiteId,
+        demand: PpDemand,
+        now: SimTime,
+    ) -> BeginOutcome {
+        if !self.cfg.policy.is_gating() {
+            return BeginOutcome::Bypass;
+        }
+        self.stats.begins += 1;
+        let resource = demand.resource;
+        let capacity = self.monitor.capacity(resource);
+        let accounted = self.cfg.policy.effective_demand(demand.amount, capacity);
+
+        // Fast path: repeat entry of a recently validated site while no
+        // one is waitlisted ahead of us.
+        if self.waitlist.len(resource) == 0
+            && self.fastpath.try_admit(
+                process,
+                site,
+                resource,
+                demand.amount,
+                self.monitor.usage(resource),
+                now,
+                self.cfg.min_eval_interval_cycles,
+            )
+        {
+            self.monitor.increment_load(resource, accounted);
+            let pp = self
+                .registry
+                .register(process, site, demand, accounted, true, now);
+            self.stats.admitted += 1;
+            self.stats.fast_begins += 1;
+            return BeginOutcome::Run { pp, fast: true };
+        }
+
+        // Slow path: full Algorithm 1.
+        match predicate::try_schedule(&demand, &self.monitor, &self.cfg.policy) {
+            Decision::Run => {
+                if accounted > self.cfg.policy.usage_limit(capacity) {
+                    self.stats.oversized_admits += 1;
+                }
+                self.monitor.increment_load(resource, accounted);
+                let pp = self
+                    .registry
+                    .register(process, site, demand, accounted, true, now);
+                self.stats.admitted += 1;
+                // Cache the verdict for repeats of this site.
+                let threshold = self
+                    .cfg
+                    .policy
+                    .usage_limit(capacity)
+                    .saturating_sub(accounted);
+                self.fastpath
+                    .store_run(process, site, resource, demand.amount, threshold, now);
+                BeginOutcome::Run { pp, fast: false }
+            }
+            Decision::Pause => {
+                let pp = self
+                    .registry
+                    .register(process, site, demand, accounted, false, now);
+                self.waitlist.push(resource, WaitEntry { pp, accounted });
+                self.stats.paused += 1;
+                self.stats.max_waitlist = self
+                    .stats
+                    .max_waitlist
+                    .max(self.waitlist.len(resource) as u64);
+                BeginOutcome::Pause { pp }
+            }
+        }
+    }
+
+    /// Process a `pp_end` for a period previously returned by
+    /// [`Self::pp_begin`]. Returns the waitlisted periods this
+    /// completion admitted.
+    ///
+    /// Panics if `pp` is not a live period (ending twice, or ending a
+    /// waitlisted period, is an application bug the kernel would
+    /// reject).
+    pub fn pp_end(&mut self, pp: PpId, now: SimTime) -> EndOutcome {
+        self.stats.ends += 1;
+        let record = self
+            .registry
+            .complete(pp)
+            .unwrap_or_else(|| panic!("{pp} ended but not live"));
+        assert!(
+            record.admitted,
+            "{pp} ended while waitlisted — the process should be paused"
+        );
+        let resource = record.demand.resource;
+        self.monitor.decrement_load(resource, record.accounted);
+
+        // Fast path: nothing can be woken (no waiters) *and* the site
+        // was validated recently, so the release is a shared-page
+        // decrement with deferred registry cleanup.
+        if self.waitlist.len(resource) == 0
+            && self.fastpath.is_fresh(
+                record.process,
+                record.site,
+                now,
+                self.cfg.min_eval_interval_cycles,
+            )
+        {
+            self.stats.fast_ends += 1;
+            return EndOutcome {
+                fast: true,
+                resumed: Vec::new(),
+            };
+        }
+        // Slow completion with no waiters: nothing to resume.
+        if self.waitlist.len(resource) == 0 {
+            return EndOutcome {
+                fast: false,
+                resumed: Vec::new(),
+            };
+        }
+
+        // Walk the FIFO admitting while the head fits (Figure 6:
+        // "attempt to schedule any waiting threads previously blocked
+        // due to resource constraints").
+        let mut resumed = Vec::new();
+        while let Some(head) = self.waitlist.front(resource) {
+            let rec = self
+                .registry
+                .get(head.pp)
+                .expect("waitlisted period missing from registry");
+            let decision = predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy);
+            if decision != Decision::Run {
+                break;
+            }
+            self.waitlist.pop(resource);
+            self.monitor.increment_load(resource, head.accounted);
+            let rec = self.registry.get_mut(head.pp).unwrap();
+            rec.admitted = true;
+            let process = rec.process;
+            let site = rec.site;
+            let amount = rec.demand.amount;
+            let threshold = self
+                .cfg
+                .policy
+                .usage_limit(self.monitor.capacity(resource))
+                .saturating_sub(head.accounted);
+            self.fastpath
+                .store_run(process, site, resource, amount, threshold, now);
+            self.stats.resumed += 1;
+            resumed.push((head.pp, process));
+        }
+        EndOutcome {
+            fast: false,
+            resumed,
+        }
+    }
+
+    /// Forget everything about a process: release its admitted periods,
+    /// cancel its waitlisted ones, and drop its fast-path entries.
+    /// Returns the periods admitted from the waitlist by the released
+    /// capacity.
+    pub fn cancel_process(&mut self, process: ProcessId, now: SimTime) -> Vec<(PpId, ProcessId)> {
+        let live: Vec<PpId> = self
+            .registry
+            .iter()
+            .filter(|r| r.process == process)
+            .map(|r| r.id)
+            .collect();
+        let mut resumed = Vec::new();
+        for pp in live {
+            let rec = self.registry.complete(pp).unwrap();
+            if rec.admitted {
+                self.monitor
+                    .decrement_load(rec.demand.resource, rec.accounted);
+                // Releasing capacity may admit waiters.
+                resumed.extend(self.drain_waitlist(rec.demand.resource, now));
+            } else {
+                self.waitlist.cancel(rec.demand.resource, pp);
+            }
+        }
+        self.fastpath.invalidate_process(process);
+        resumed
+    }
+
+    fn drain_waitlist(&mut self, resource: Resource, now: SimTime) -> Vec<(PpId, ProcessId)> {
+        let mut resumed = Vec::new();
+        while let Some(head) = self.waitlist.front(resource) {
+            let rec = self.registry.get(head.pp).expect("waitlisted period missing");
+            if predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy) != Decision::Run
+            {
+                break;
+            }
+            self.waitlist.pop(resource);
+            self.monitor.increment_load(resource, head.accounted);
+            let rec = self.registry.get_mut(head.pp).unwrap();
+            rec.admitted = true;
+            self.stats.resumed += 1;
+            resumed.push((head.pp, rec.process));
+        }
+        let _ = now;
+        resumed
+    }
+
+    /// Internal consistency: the monitor's usage equals the sum of
+    /// accounted demands over admitted periods, per resource.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for r in Resource::ALL {
+            let expected = self.registry.total_accounted(r);
+            let actual = self.monitor.usage(r);
+            if expected != actual {
+                return Err(format!(
+                    "{r}: monitor usage {actual} != registry accounted {expected}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::mb;
+    use rda_machine::{MachineConfig, ReuseLevel};
+
+    fn ext(policy: PolicyKind) -> RdaExtension {
+        RdaExtension::new(RdaConfig::for_machine(
+            &MachineConfig::xeon_e5_2420(),
+            policy,
+        ))
+    }
+
+    fn demand(ws_mb: f64) -> PpDemand {
+        PpDemand::llc(mb(ws_mb), ReuseLevel::High)
+    }
+
+    fn t(cycles: u64) -> SimTime {
+        SimTime::from_cycles(cycles)
+    }
+
+    #[test]
+    fn default_only_bypasses_tracking() {
+        let mut e = ext(PolicyKind::DefaultOnly);
+        let out = e.pp_begin(ProcessId(0), SiteId(0), demand(100.0), t(0));
+        assert_eq!(out, BeginOutcome::Bypass);
+        assert_eq!(e.stats().begins, 0);
+        assert_eq!(e.usage(Resource::Llc), 0);
+    }
+
+    #[test]
+    fn strict_admits_until_full_then_pauses() {
+        let mut e = ext(PolicyKind::Strict);
+        // LLC is 15 MB; three 5 MB periods fit, the fourth pauses.
+        let mut pps = Vec::new();
+        for p in 0..3 {
+            match e.pp_begin(ProcessId(p), SiteId(0), demand(5.0), t(p as u64)) {
+                BeginOutcome::Run { pp, .. } => pps.push(pp),
+                other => panic!("expected Run, got {other:?}"),
+            }
+        }
+        let paused = match e.pp_begin(ProcessId(3), SiteId(0), demand(5.0), t(3)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("expected Pause, got {other:?}"),
+        };
+        assert_eq!(e.waitlist_len(Resource::Llc), 1);
+        e.check_invariants().unwrap();
+
+        // Ending one admitted period resumes the waiter.
+        let out = e.pp_end(pps[0], t(10));
+        assert!(!out.fast);
+        assert_eq!(out.resumed, vec![(paused, ProcessId(3))]);
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compromise_allows_double_subscription() {
+        let mut e = ext(PolicyKind::compromise_default());
+        // 15 MB LLC, x=2 → 30 MB limit: five 6 MB periods admitted, the
+        // sixth pauses.
+        for p in 0..5 {
+            assert!(matches!(
+                e.pp_begin(ProcessId(p), SiteId(0), demand(6.0), t(p as u64)),
+                BeginOutcome::Run { .. }
+            ));
+        }
+        assert!(matches!(
+            e.pp_begin(ProcessId(5), SiteId(0), demand(6.0), t(5)),
+            BeginOutcome::Pause { .. }
+        ));
+    }
+
+    #[test]
+    fn end_with_empty_waitlist_is_fast() {
+        let mut e = ext(PolicyKind::Strict);
+        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(1.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        let out = e.pp_end(pp, t(1));
+        assert!(out.fast);
+        assert!(out.resumed.is_empty());
+        assert_eq!(e.stats().fast_ends, 1);
+    }
+
+    #[test]
+    fn repeat_site_hits_fast_path() {
+        let mut e = ext(PolicyKind::Strict);
+        let interval = e.config().min_eval_interval_cycles;
+        // First begin: slow.
+        let pp = match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(0)) {
+            BeginOutcome::Run { pp, fast } => {
+                assert!(!fast);
+                pp
+            }
+            _ => panic!(),
+        };
+        e.pp_end(pp, t(10));
+        // Repeat within the interval: fast.
+        match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(20)) {
+            BeginOutcome::Run { pp, fast } => {
+                assert!(fast);
+                e.pp_end(pp, t(30));
+            }
+            _ => panic!(),
+        }
+        // Repeat after expiry: slow again.
+        match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(30 + interval + 1)) {
+            BeginOutcome::Run { fast, .. } => assert!(!fast),
+            _ => panic!(),
+        }
+        assert_eq!(e.stats().fast_begins, 1);
+    }
+
+    #[test]
+    fn fast_path_never_admits_what_predicate_would_deny() {
+        let mut e = ext(PolicyKind::Strict);
+        // Warm the cache with a 6 MB site.
+        let pp = match e.pp_begin(ProcessId(0), SiteId(1), demand(6.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        e.pp_end(pp, t(1));
+        // Fill the cache to 10 MB with another process.
+        assert!(matches!(
+            e.pp_begin(ProcessId(1), SiteId(2), demand(10.0), t(2)),
+            BeginOutcome::Run { .. }
+        ));
+        // The cached 6 MB site no longer fits (10 + 6 > 15): the fast
+        // check must fail and the slow predicate must pause it.
+        assert!(matches!(
+            e.pp_begin(ProcessId(0), SiteId(1), demand(6.0), t(3)),
+            BeginOutcome::Pause { .. }
+        ));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn waitlist_resume_is_fifo_and_cascading() {
+        let mut e = ext(PolicyKind::Strict);
+        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        // Three small periods queue up behind the big one.
+        for p in 1..4 {
+            assert!(matches!(
+                e.pp_begin(ProcessId(p), SiteId(0), demand(4.0), t(p as u64)),
+                BeginOutcome::Pause { .. }
+            ));
+        }
+        // Ending the 14 MB period admits all three 4 MB waiters (12 < 15).
+        let out = e.pp_end(a, t(10));
+        assert_eq!(out.resumed.len(), 3);
+        let procs: Vec<u32> = out.resumed.iter().map(|&(_, p)| p.0).collect();
+        assert_eq!(procs, vec![1, 2, 3], "FIFO order");
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn algorithm1_admits_fitting_demand_despite_waiters() {
+        // Algorithm 1 has no waiter check: a new demand that fits runs
+        // immediately even while a bigger period is waitlisted.
+        let mut e = ext(PolicyKind::Strict);
+        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(10.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        assert!(matches!(
+            e.pp_begin(ProcessId(1), SiteId(0), demand(12.0), t(1)),
+            BeginOutcome::Pause { .. }
+        ));
+        // 10 + 2 <= 15: admitted straight away, ahead of the waiter.
+        assert!(matches!(
+            e.pp_begin(ProcessId(2), SiteId(1), demand(2.0), t(2)),
+            BeginOutcome::Run { .. }
+        ));
+        e.check_invariants().unwrap();
+        // Ending the 10 MB period leaves 15-2=13 < 12+2... 12 fits in
+        // 15-2=13, so the waiter resumes now.
+        let out = e.pp_end(a, t(3));
+        assert_eq!(out.resumed.len(), 1);
+        assert_eq!(out.resumed[0].1, ProcessId(1));
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+    }
+
+    #[test]
+    fn head_of_line_blocking_preserves_fifo() {
+        let mut e = ext(PolicyKind::Strict);
+        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(10.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        let b = match e.pp_begin(ProcessId(3), SiteId(0), demand(4.0), t(1)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        // Big waiter first, small waiter second (usage is 14 MB).
+        assert!(matches!(
+            e.pp_begin(ProcessId(1), SiteId(0), demand(12.0), t(2)),
+            BeginOutcome::Pause { .. }
+        ));
+        assert!(matches!(
+            e.pp_begin(ProcessId(2), SiteId(0), demand(2.0), t(3)),
+            BeginOutcome::Pause { .. }
+        ));
+        // Ending the 4 MB period leaves 10 MB used, 5 MB free: the
+        // 12 MB head doesn't fit, and the FIFO resume loop stops there —
+        // the 2 MB waiter behind it stays queued even though it fits.
+        let out = e.pp_end(b, t(4));
+        assert!(out.resumed.is_empty());
+        assert_eq!(e.waitlist_len(Resource::Llc), 2);
+        let _ = a;
+    }
+
+    #[test]
+    fn oversized_demand_admitted_with_guard() {
+        let mut e = ext(PolicyKind::Strict);
+        match e.pp_begin(ProcessId(0), SiteId(0), demand(20.0), t(0)) {
+            BeginOutcome::Run { .. } => {}
+            other => panic!("oversized demand must run, got {other:?}"),
+        }
+        assert_eq!(e.stats().oversized_admits, 1);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancel_process_releases_and_resumes() {
+        let mut e = ext(PolicyKind::Strict);
+        assert!(matches!(
+            e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)),
+            BeginOutcome::Run { .. }
+        ));
+        assert!(matches!(
+            e.pp_begin(ProcessId(1), SiteId(0), demand(5.0), t(1)),
+            BeginOutcome::Pause { .. }
+        ));
+        let resumed = e.cancel_process(ProcessId(0), t(2));
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].1, ProcessId(1));
+        assert_eq!(e.usage(Resource::Llc), mb(5.0));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resources_are_gated_independently() {
+        // §3.3: "configurable to allow multiple hardware resources to
+        // be targeted". A bandwidth-heavy period must not consume LLC
+        // budget, and vice versa.
+        let mut e = ext(PolicyKind::Strict);
+        let bw_cap = e.config().membw_capacity;
+        // Fill the LLC completely.
+        let llc_pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(15.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            other => panic!("{other:?}"),
+        };
+        // A bandwidth demand still runs: different load-table row.
+        let bw = PpDemand {
+            resource: Resource::MemBandwidth,
+            amount: bw_cap / 2,
+            reuse: ReuseLevel::Low,
+        };
+        let bw_pp = match e.pp_begin(ProcessId(1), SiteId(1), bw, t(1)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            other => panic!("bandwidth must be independent: {other:?}"),
+        };
+        assert_eq!(e.usage(Resource::MemBandwidth), bw_cap / 2);
+        // Exceeding the bandwidth budget pauses on ITS waitlist only.
+        let bw2 = PpDemand {
+            resource: Resource::MemBandwidth,
+            amount: bw_cap,
+            reuse: ReuseLevel::Low,
+        };
+        assert!(matches!(
+            e.pp_begin(ProcessId(2), SiteId(2), bw2, t(2)),
+            BeginOutcome::Pause { .. }
+        ));
+        assert_eq!(e.waitlist_len(Resource::MemBandwidth), 1);
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+        // Releasing the LLC wakes nobody on the bandwidth list…
+        let out = e.pp_end(llc_pp, t(3));
+        assert!(out.resumed.is_empty());
+        // …but releasing bandwidth does.
+        let out = e.pp_end(bw_pp, t(4));
+        assert_eq!(out.resumed.len(), 1);
+        assert_eq!(out.resumed[0].1, ProcessId(2));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_end_panics() {
+        let mut e = ext(PolicyKind::Strict);
+        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(1.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        e.pp_end(pp, t(1));
+        e.pp_end(pp, t(2));
+    }
+
+    #[test]
+    fn call_costs_reflect_path() {
+        let e = ext(PolicyKind::Strict);
+        assert!(e.call_cost_cycles(true) < e.call_cost_cycles(false));
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut e = ext(PolicyKind::Strict);
+        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            _ => panic!(),
+        };
+        let _ = e.pp_begin(ProcessId(1), SiteId(0), demand(5.0), t(1));
+        let _ = e.pp_end(pp, t(2));
+        let s = e.stats();
+        assert_eq!(s.begins, 2);
+        assert_eq!(s.ends, 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.paused, 1);
+        assert_eq!(s.resumed, 1);
+        assert_eq!(s.max_waitlist, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # rda-core
+//!
+//! The paper's primary contribution: a **resource-demand-aware (RDA)
+//! scheduling extension** that sits on top of the default OS scheduler
+//! and gates processes at **progress-period** boundaries.
+//!
+//! A progress period (PP) is a duration of execution with roughly
+//! constant resource demand, announced by the application through the
+//! user-level API of Figure 4:
+//!
+//! ```text
+//! pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
+//! DGEMM(n, A, B, C);
+//! pp_end(pp_id);
+//! ```
+//!
+//! The extension consists of the three components of the paper's
+//! Figure 2:
+//!
+//! * the **progress monitor** ([`extension::RdaExtension`] +
+//!   [`registry::PpRegistry`] + [`waitlist::Waitlist`]) — tracks PP
+//!   begin/end events, keeps the registry of active periods, and
+//!   re-attempts waitlisted threads whenever a period completes;
+//! * the **resource monitor** ([`monitor::ResourceMonitor`]) — a load
+//!   table holding the summed demand per hardware resource;
+//! * the **scheduling predicate** ([`predicate`]) — Algorithm 1, which
+//!   decides run-or-pause from remaining capacity, the new demand, and a
+//!   reconfigurable [`policy`] (RDA:Strict / RDA:Compromise).
+//!
+//! Beyond the paper's prose, [`fastpath`] implements the decision
+//! memoisation that keeps fine-grained period tracking cheap (the
+//! mechanism behind the sub-linear overhead growth of Figure 11), and
+//! [`policy::PolicyKind::Partitioned`] prototypes the cache-partitioning
+//! extension the paper lists as future work.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod config;
+pub mod extension;
+pub mod fastpath;
+pub mod monitor;
+pub mod policy;
+pub mod predicate;
+pub mod registry;
+pub mod waitlist;
+
+pub use api::{mb, PpDemand, PpId, Resource, SiteId};
+pub use config::RdaConfig;
+pub use extension::{BeginOutcome, RdaExtension, RdaStats};
+pub use policy::PolicyKind;
+pub use predicate::Decision;

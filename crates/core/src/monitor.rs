@@ -1,0 +1,185 @@
+//! The resource monitor (§3.2).
+//!
+//! *"A table is used to keep track of the current load level for the
+//! resources, where an entry is allocated to each resource to save its
+//! current usage level."* [`ResourceMonitor`] is that table: per
+//! resource it stores the nominal capacity and the summed demand of all
+//! active progress periods, updated on every period entry/exit, and
+//! answers the free-space queries the predicate needs.
+
+use crate::api::Resource;
+use serde::{Deserialize, Serialize};
+
+/// One row of the load table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LoadEntry {
+    capacity: u64,
+    usage: u64,
+    /// Monotone counter bumped on every usage change; the fast path
+    /// uses it to detect staleness cheaply.
+    epoch: u64,
+}
+
+/// Real-time estimation of hardware resource usage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceMonitor {
+    llc: LoadEntry,
+    membw: LoadEntry,
+}
+
+impl ResourceMonitor {
+    /// Build a monitor with the given capacities.
+    pub fn new(llc_capacity: u64, membw_capacity: u64) -> Self {
+        let entry = |capacity| LoadEntry {
+            capacity,
+            usage: 0,
+            epoch: 0,
+        };
+        ResourceMonitor {
+            llc: entry(llc_capacity),
+            membw: entry(membw_capacity),
+        }
+    }
+
+    fn entry(&self, r: Resource) -> &LoadEntry {
+        match r {
+            Resource::Llc => &self.llc,
+            Resource::MemBandwidth => &self.membw,
+        }
+    }
+
+    fn entry_mut(&mut self, r: Resource) -> &mut LoadEntry {
+        match r {
+            Resource::Llc => &mut self.llc,
+            Resource::MemBandwidth => &mut self.membw,
+        }
+    }
+
+    /// Nominal capacity of a resource.
+    pub fn capacity(&self, r: Resource) -> u64 {
+        self.entry(r).capacity
+    }
+
+    /// Current summed demand of active periods.
+    pub fn usage(&self, r: Resource) -> u64 {
+        self.entry(r).usage
+    }
+
+    /// Unused nominal capacity (saturating at zero when oversubscribed).
+    pub fn remaining(&self, r: Resource) -> u64 {
+        let e = self.entry(r);
+        e.capacity.saturating_sub(e.usage)
+    }
+
+    /// Signed remaining capacity — negative when policies have allowed
+    /// oversubscription.
+    pub fn remaining_signed(&self, r: Resource) -> i128 {
+        let e = self.entry(r);
+        e.capacity as i128 - e.usage as i128
+    }
+
+    /// Usage-change epoch (bumped on every increment/decrement).
+    pub fn epoch(&self, r: Resource) -> u64 {
+        self.entry(r).epoch
+    }
+
+    /// Account a newly admitted period's demand.
+    pub fn increment_load(&mut self, r: Resource, demand: u64) {
+        let e = self.entry_mut(r);
+        e.usage += demand;
+        e.epoch += 1;
+    }
+
+    /// Release a completed period's demand.
+    ///
+    /// Panics if the release exceeds the tracked usage — that would mean
+    /// the registry double-released a period, which is a scheduler bug.
+    pub fn decrement_load(&mut self, r: Resource, demand: u64) {
+        let e = self.entry_mut(r);
+        assert!(
+            e.usage >= demand,
+            "resource {r}: releasing {demand} with only {} in use",
+            e.usage
+        );
+        e.usage -= demand;
+        e.epoch += 1;
+    }
+
+    /// Oversubscription ratio `usage / capacity` (0 for idle).
+    pub fn pressure(&self, r: Resource) -> f64 {
+        let e = self.entry(r);
+        if e.capacity == 0 {
+            0.0
+        } else {
+            e.usage as f64 / e.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> ResourceMonitor {
+        ResourceMonitor::new(1000, 5000)
+    }
+
+    #[test]
+    fn starts_idle() {
+        let m = mon();
+        assert_eq!(m.usage(Resource::Llc), 0);
+        assert_eq!(m.remaining(Resource::Llc), 1000);
+        assert_eq!(m.capacity(Resource::MemBandwidth), 5000);
+        assert_eq!(m.pressure(Resource::Llc), 0.0);
+    }
+
+    #[test]
+    fn increments_and_decrements_are_exact() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 400);
+        m.increment_load(Resource::Llc, 300);
+        assert_eq!(m.usage(Resource::Llc), 700);
+        assert_eq!(m.remaining(Resource::Llc), 300);
+        m.decrement_load(Resource::Llc, 400);
+        assert_eq!(m.usage(Resource::Llc), 300);
+    }
+
+    #[test]
+    fn resources_are_independent() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 999);
+        assert_eq!(m.usage(Resource::MemBandwidth), 0);
+        m.increment_load(Resource::MemBandwidth, 100);
+        assert_eq!(m.usage(Resource::Llc), 999);
+    }
+
+    #[test]
+    fn oversubscription_saturates_unsigned_remaining() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 1500);
+        assert_eq!(m.remaining(Resource::Llc), 0);
+        assert_eq!(m.remaining_signed(Resource::Llc), -500);
+        assert!((m.pressure(Resource::Llc) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_change() {
+        let mut m = mon();
+        let e0 = m.epoch(Resource::Llc);
+        m.increment_load(Resource::Llc, 1);
+        let e1 = m.epoch(Resource::Llc);
+        m.decrement_load(Resource::Llc, 1);
+        let e2 = m.epoch(Resource::Llc);
+        assert!(e0 < e1 && e1 < e2);
+        // Other resource's epoch untouched.
+        assert_eq!(m.epoch(Resource::MemBandwidth), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn double_release_is_a_bug() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 10);
+        m.decrement_load(Resource::Llc, 11);
+    }
+}

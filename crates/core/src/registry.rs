@@ -1,0 +1,174 @@
+//! The progress-period registry (§3.1).
+//!
+//! *"The progress monitor stores all active progress period information
+//! in a registry, so the resource usage footprint of each progress
+//! period can be removed from our environment after the period
+//! completes."* The registry maps live [`PpId`]s to their demand,
+//! owning process, and static site, and allocates fresh ids.
+
+use crate::api::{PpDemand, PpId, SiteId};
+use rda_sched::ProcessId;
+use rda_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A live progress period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpRecord {
+    /// The dynamic instance id.
+    pub id: PpId,
+    /// Owning process.
+    pub process: ProcessId,
+    /// Static code site this instance came from.
+    pub site: SiteId,
+    /// The declared demand.
+    pub demand: PpDemand,
+    /// When the period was registered.
+    pub begun_at: SimTime,
+    /// Demand amount actually accounted in the resource monitor (may be
+    /// clamped by the Partitioned policy).
+    pub accounted: u64,
+    /// Whether the period is admitted (running) or waitlisted.
+    pub admitted: bool,
+}
+
+/// Allocator + table of active progress periods.
+#[derive(Debug, Clone, Default)]
+pub struct PpRegistry {
+    next_id: u64,
+    active: HashMap<PpId, PpRecord>,
+}
+
+impl PpRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new period and return its unique id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &mut self,
+        process: ProcessId,
+        site: SiteId,
+        demand: PpDemand,
+        accounted: u64,
+        admitted: bool,
+        now: SimTime,
+    ) -> PpId {
+        let id = PpId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(
+            id,
+            PpRecord {
+                id,
+                process,
+                site,
+                demand,
+                begun_at: now,
+                accounted,
+                admitted,
+            },
+        );
+        id
+    }
+
+    /// Look up a live period.
+    pub fn get(&self, id: PpId) -> Option<&PpRecord> {
+        self.active.get(&id)
+    }
+
+    /// Mutable access to a live period (admission flips, clamping).
+    pub fn get_mut(&mut self, id: PpId) -> Option<&mut PpRecord> {
+        self.active.get_mut(&id)
+    }
+
+    /// Remove a completed period, returning its record.
+    pub fn complete(&mut self, id: PpId) -> Option<PpRecord> {
+        self.active.remove(&id)
+    }
+
+    /// Number of live periods (admitted + waitlisted).
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when no periods are live.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Iterate over live periods in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &PpRecord> {
+        self.active.values()
+    }
+
+    /// The live *admitted* periods of one process.
+    pub fn admitted_of_process(&self, p: ProcessId) -> impl Iterator<Item = &PpRecord> {
+        self.active
+            .values()
+            .filter(move |r| r.process == p && r.admitted)
+    }
+
+    /// Sum of accounted demand across admitted periods — must equal the
+    /// resource monitor's usage (checked by the extension's invariant
+    /// test).
+    pub fn total_accounted(&self, resource: crate::api::Resource) -> u64 {
+        self.active
+            .values()
+            .filter(|r| r.admitted && r.demand.resource == resource)
+            .map(|r| r.accounted)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{mb, Resource};
+    use rda_machine::ReuseLevel;
+
+    fn demand() -> PpDemand {
+        PpDemand::llc(mb(1.0), ReuseLevel::High)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut r = PpRegistry::new();
+        let a = r.register(ProcessId(0), SiteId(0), demand(), mb(1.0), true, SimTime::ZERO);
+        let b = r.register(ProcessId(0), SiteId(0), demand(), mb(1.0), true, SimTime::ZERO);
+        assert!(a < b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn complete_removes_and_returns() {
+        let mut r = PpRegistry::new();
+        let id = r.register(ProcessId(3), SiteId(1), demand(), mb(1.0), true, SimTime::ZERO);
+        let rec = r.complete(id).unwrap();
+        assert_eq!(rec.process, ProcessId(3));
+        assert!(r.complete(id).is_none(), "double-complete returns None");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn per_process_filtering() {
+        let mut r = PpRegistry::new();
+        r.register(ProcessId(1), SiteId(0), demand(), mb(1.0), true, SimTime::ZERO);
+        r.register(ProcessId(1), SiteId(1), demand(), mb(1.0), false, SimTime::ZERO);
+        r.register(ProcessId(2), SiteId(0), demand(), mb(1.0), true, SimTime::ZERO);
+        assert_eq!(r.admitted_of_process(ProcessId(1)).count(), 1);
+        assert_eq!(r.admitted_of_process(ProcessId(2)).count(), 1);
+        assert_eq!(r.admitted_of_process(ProcessId(9)).count(), 0);
+    }
+
+    #[test]
+    fn total_accounted_counts_only_admitted() {
+        let mut r = PpRegistry::new();
+        r.register(ProcessId(1), SiteId(0), demand(), 100, true, SimTime::ZERO);
+        r.register(ProcessId(2), SiteId(0), demand(), 200, false, SimTime::ZERO);
+        r.register(ProcessId(3), SiteId(0), demand(), 300, true, SimTime::ZERO);
+        assert_eq!(r.total_accounted(Resource::Llc), 400);
+        assert_eq!(r.total_accounted(Resource::MemBandwidth), 0);
+    }
+}

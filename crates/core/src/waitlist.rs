@@ -1,0 +1,149 @@
+//! The resource waitlist (§3.1, Figures 5/6).
+//!
+//! Processes whose progress periods are denied are *"placed on a
+//! resource waitlist so they may be rescheduled later when another
+//! progress period completes and releases sufficient resources"*. The
+//! waitlist is FIFO per resource: the longest-waiting period is
+//! re-evaluated first, which bounds waiting time and keeps admission
+//! order deterministic.
+
+use crate::api::{PpId, Resource};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One waitlisted period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitEntry {
+    /// The denied period.
+    pub pp: PpId,
+    /// Its accounted demand (for quick re-evaluation).
+    pub accounted: u64,
+}
+
+/// FIFO waitlists, one per resource.
+#[derive(Debug, Clone, Default)]
+pub struct Waitlist {
+    llc: VecDeque<WaitEntry>,
+    membw: VecDeque<WaitEntry>,
+}
+
+impl Waitlist {
+    /// Empty waitlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn queue(&self, r: Resource) -> &VecDeque<WaitEntry> {
+        match r {
+            Resource::Llc => &self.llc,
+            Resource::MemBandwidth => &self.membw,
+        }
+    }
+
+    fn queue_mut(&mut self, r: Resource) -> &mut VecDeque<WaitEntry> {
+        match r {
+            Resource::Llc => &mut self.llc,
+            Resource::MemBandwidth => &mut self.membw,
+        }
+    }
+
+    /// Append a denied period.
+    pub fn push(&mut self, r: Resource, entry: WaitEntry) {
+        debug_assert!(
+            !self.queue(r).iter().any(|e| e.pp == entry.pp),
+            "{} double-waitlisted",
+            entry.pp
+        );
+        self.queue_mut(r).push_back(entry);
+    }
+
+    /// The longest-waiting period, without removing it.
+    pub fn front(&self, r: Resource) -> Option<WaitEntry> {
+        self.queue(r).front().copied()
+    }
+
+    /// Remove and return the longest-waiting period.
+    pub fn pop(&mut self, r: Resource) -> Option<WaitEntry> {
+        self.queue_mut(r).pop_front()
+    }
+
+    /// Remove a specific period (e.g. its process was killed).
+    pub fn cancel(&mut self, r: Resource, pp: PpId) -> bool {
+        let q = self.queue_mut(r);
+        if let Some(pos) = q.iter().position(|e| e.pp == pp) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of periods waiting on a resource.
+    pub fn len(&self, r: Resource) -> usize {
+        self.queue(r).len()
+    }
+
+    /// True when nothing waits on any resource.
+    pub fn is_empty(&self) -> bool {
+        self.llc.is_empty() && self.membw.is_empty()
+    }
+
+    /// Iterate a resource's waiters front-to-back.
+    pub fn iter(&self, r: Resource) -> impl Iterator<Item = WaitEntry> + '_ {
+        self.queue(r).iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u64, demand: u64) -> WaitEntry {
+        WaitEntry {
+            pp: PpId(id),
+            accounted: demand,
+        }
+    }
+
+    #[test]
+    fn fifo_order_per_resource() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e(1, 10));
+        w.push(Resource::Llc, e(2, 20));
+        w.push(Resource::MemBandwidth, e(3, 30));
+        assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(1));
+        assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(2));
+        assert_eq!(w.pop(Resource::Llc), None);
+        assert_eq!(w.pop(Resource::MemBandwidth).unwrap().pp, PpId(3));
+    }
+
+    #[test]
+    fn front_does_not_remove() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e(1, 10));
+        assert_eq!(w.front(Resource::Llc).unwrap().pp, PpId(1));
+        assert_eq!(w.len(Resource::Llc), 1);
+    }
+
+    #[test]
+    fn cancel_mid_queue() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e(1, 10));
+        w.push(Resource::Llc, e(2, 20));
+        w.push(Resource::Llc, e(3, 30));
+        assert!(w.cancel(Resource::Llc, PpId(2)));
+        assert!(!w.cancel(Resource::Llc, PpId(2)));
+        let order: Vec<PpId> = w.iter(Resource::Llc).map(|x| x.pp).collect();
+        assert_eq!(order, vec![PpId(1), PpId(3)]);
+    }
+
+    #[test]
+    fn emptiness_spans_resources() {
+        let mut w = Waitlist::new();
+        assert!(w.is_empty());
+        w.push(Resource::MemBandwidth, e(9, 1));
+        assert!(!w.is_empty());
+        w.pop(Resource::MemBandwidth);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Resource-access profiles — the vocabulary shared between applications,
+//! the profiler, and the scheduler.
+//!
+//! Section 2.2 of the paper quantifies a progress period's resource usage
+//! with two values: a **working-set size** and a **relative temporal
+//! locality (reuse) factor**. [`ReuseLevel`] is the paper's three-level
+//! categorisation (low / medium / high), and [`AccessProfile`] extends it
+//! with the instruction-mix parameters the performance model needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's three-level data-reuse categorisation (`REUSE_LOW`,
+/// `REUSE_MED`, `REUSE_HIGH` in the Figure 4 API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReuseLevel {
+    /// Streaming access, minimal temporal locality (BLAS-1 class).
+    Low,
+    /// Moderate temporal locality (BLAS-2 class).
+    Medium,
+    /// Heavy temporal reuse of the working set (BLAS-3 class).
+    High,
+}
+
+impl ReuseLevel {
+    /// Classify a measured reuse ratio (mean accesses per distinct
+    /// address within a profiling window) into the paper's three levels.
+    ///
+    /// Thresholds follow the BLAS intuition: level-1 kernels touch each
+    /// element O(1) times, level-2 O(√n)≈ a few, level-3 O(n) times.
+    pub fn from_reuse_ratio(ratio: f64) -> Self {
+        if ratio < 3.0 {
+            ReuseLevel::Low
+        } else if ratio < 16.0 {
+            ReuseLevel::Medium
+        } else {
+            ReuseLevel::High
+        }
+    }
+
+    /// All levels, in increasing order of locality.
+    pub const ALL: [ReuseLevel; 3] = [ReuseLevel::Low, ReuseLevel::Medium, ReuseLevel::High];
+}
+
+impl fmt::Display for ReuseLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReuseLevel::Low => write!(f, "low"),
+            ReuseLevel::Medium => write!(f, "med"),
+            ReuseLevel::High => write!(f, "high"),
+        }
+    }
+}
+
+/// A compact description of a code region's execution behaviour, as the
+/// performance model consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Working-set size in bytes (the paper's `MB(6.3)`-style argument).
+    pub ws_bytes: u64,
+    /// Temporal-reuse level of the working set.
+    pub reuse: ReuseLevel,
+    /// Fraction of instructions that are memory operations.
+    pub mem_frac: f64,
+    /// Fraction of instructions that are floating-point operations.
+    pub flop_frac: f64,
+    /// Base cycles-per-instruction with a perfectly warm L1 (captures
+    /// issue width and dependency structure of the kernel).
+    pub cpi_base: f64,
+}
+
+impl AccessProfile {
+    /// A profile with kernel-class defaults for the given reuse level:
+    /// streaming kernels issue more memory ops per instruction, high
+    /// reuse kernels are FLOP-dense.
+    pub fn typical(ws_bytes: u64, reuse: ReuseLevel) -> Self {
+        match reuse {
+            ReuseLevel::Low => AccessProfile {
+                ws_bytes,
+                reuse,
+                mem_frac: 0.45,
+                flop_frac: 0.25,
+                cpi_base: 0.55,
+            },
+            ReuseLevel::Medium => AccessProfile {
+                ws_bytes,
+                reuse,
+                mem_frac: 0.40,
+                flop_frac: 0.35,
+                cpi_base: 0.50,
+            },
+            ReuseLevel::High => AccessProfile {
+                ws_bytes,
+                reuse,
+                mem_frac: 0.35,
+                flop_frac: 0.45,
+                cpi_base: 0.45,
+            },
+        }
+    }
+
+    /// Validate the profile's numeric ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.mem_frac) {
+            return Err("mem_frac must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.flop_frac) {
+            return Err("flop_frac must be in [0,1]".into());
+        }
+        if self.cpi_base <= 0.0 {
+            return Err("cpi_base must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_classification_thresholds() {
+        assert_eq!(ReuseLevel::from_reuse_ratio(1.0), ReuseLevel::Low);
+        assert_eq!(ReuseLevel::from_reuse_ratio(2.99), ReuseLevel::Low);
+        assert_eq!(ReuseLevel::from_reuse_ratio(3.0), ReuseLevel::Medium);
+        assert_eq!(ReuseLevel::from_reuse_ratio(15.9), ReuseLevel::Medium);
+        assert_eq!(ReuseLevel::from_reuse_ratio(16.0), ReuseLevel::High);
+        assert_eq!(ReuseLevel::from_reuse_ratio(1000.0), ReuseLevel::High);
+    }
+
+    #[test]
+    fn reuse_ordering_reflects_locality() {
+        assert!(ReuseLevel::Low < ReuseLevel::Medium);
+        assert!(ReuseLevel::Medium < ReuseLevel::High);
+    }
+
+    #[test]
+    fn display_matches_table2_vocabulary() {
+        assert_eq!(ReuseLevel::Low.to_string(), "low");
+        assert_eq!(ReuseLevel::Medium.to_string(), "med");
+        assert_eq!(ReuseLevel::High.to_string(), "high");
+    }
+
+    #[test]
+    fn typical_profiles_validate() {
+        for reuse in ReuseLevel::ALL {
+            let p = AccessProfile::typical(1 << 20, reuse);
+            assert!(p.validate().is_ok());
+            assert_eq!(p.reuse, reuse);
+        }
+    }
+
+    #[test]
+    fn high_reuse_is_flop_denser_than_low() {
+        let low = AccessProfile::typical(1 << 20, ReuseLevel::Low);
+        let high = AccessProfile::typical(1 << 20, ReuseLevel::High);
+        assert!(high.flop_frac > low.flop_frac);
+        assert!(high.mem_frac < low.mem_frac);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let mut p = AccessProfile::typical(1, ReuseLevel::Low);
+        p.mem_frac = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = AccessProfile::typical(1, ReuseLevel::Low);
+        p.flop_frac = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = AccessProfile::typical(1, ReuseLevel::Low);
+        p.cpi_base = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

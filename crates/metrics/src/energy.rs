@@ -1,0 +1,106 @@
+//! RAPL-style energy accounting.
+//!
+//! The paper reads Intel's Running Average Power Limit (RAPL) interface,
+//! which exposes cumulative energy for the *package* domain (cores +
+//! caches) and the *DRAM* domain. [`EnergyBreakdown`] mirrors those two
+//! domains; the machine model deposits Joules here as simulated time
+//! advances and events (instructions, cache accesses, DRAM transfers)
+//! occur.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Cumulative energy split across RAPL-like domains, in Joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Package domain: core static + dynamic energy and cache energy.
+    pub pkg_joules: f64,
+    /// DRAM domain: background power plus per-transfer energy.
+    pub dram_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Zero energy in both domains.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total system energy (PKG + DRAM) — the quantity Figure 7 plots.
+    pub fn system_joules(&self) -> f64 {
+        self.pkg_joules + self.dram_joules
+    }
+
+    /// Average system power over a wall-clock interval in seconds.
+    pub fn average_watts(&self, wall_secs: f64) -> f64 {
+        if wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.system_joules() / wall_secs
+        }
+    }
+
+    /// Deposit Joules into the package domain.
+    pub fn add_pkg(&mut self, joules: f64) {
+        debug_assert!(joules >= 0.0, "negative energy deposit");
+        self.pkg_joules += joules;
+    }
+
+    /// Deposit Joules into the DRAM domain.
+    pub fn add_dram(&mut self, joules: f64) {
+        debug_assert!(joules >= 0.0, "negative energy deposit");
+        self.dram_joules += joules;
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.pkg_joules += rhs.pkg_joules;
+        self.dram_joules += rhs.dram_joules;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_power() {
+        let mut e = EnergyBreakdown::new();
+        e.add_pkg(30.0);
+        e.add_dram(10.0);
+        assert!((e.system_joules() - 40.0).abs() < 1e-12);
+        assert!((e.average_watts(2.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_interval_power_is_zero() {
+        let e = EnergyBreakdown {
+            pkg_joules: 5.0,
+            dram_joules: 5.0,
+        };
+        assert_eq!(e.average_watts(0.0), 0.0);
+    }
+
+    #[test]
+    fn addition_is_domainwise() {
+        let a = EnergyBreakdown {
+            pkg_joules: 1.0,
+            dram_joules: 2.0,
+        };
+        let b = EnergyBreakdown {
+            pkg_joules: 3.0,
+            dram_joules: 4.0,
+        };
+        let c = a + b;
+        assert_eq!(c.pkg_joules, 4.0);
+        assert_eq!(c.dram_joules, 6.0);
+    }
+}

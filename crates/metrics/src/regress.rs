@@ -1,0 +1,165 @@
+//! Least-squares regression.
+//!
+//! Section 4.4 of the paper predicts a progress period's working-set size
+//! as a function of the application input size by running a *logarithmic
+//! regression* (`y = a + b·ln(x)`) over the first three input scales and
+//! checking prediction accuracy on the fourth. [`log_fit`] implements
+//! exactly that; [`linear_fit`] is the underlying least-squares solver,
+//! also exposed for the harness's sanity checks.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted model `y = intercept + slope * f(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Constant term `a`.
+    pub intercept: f64,
+    /// Coefficient `b`.
+    pub slope: f64,
+    /// Coefficient of determination on the training points.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on raw `(x, y)` points.
+///
+/// Returns `None` with fewer than two points or when all `x` coincide.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    fit_transformed(points, |x| x)
+}
+
+/// Logarithmic regression `y = a + b·ln(x)` on `(x, y)` points.
+///
+/// Returns `None` with fewer than two points, non-positive `x`, or when
+/// all `ln(x)` coincide.
+pub fn log_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    if points.iter().any(|&(x, _)| x <= 0.0) {
+        return None;
+    }
+    fit_transformed(points, |x| x.ln())
+}
+
+fn fit_transformed(points: &[(f64, f64)], f: impl Fn(f64) -> f64) -> Option<Fit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|&(x, _)| f(x)).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let mx = sx / nf;
+    let my = sy / nf;
+    let sxx: f64 = points.iter().map(|&(x, _)| (f(x) - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|&(x, y)| (f(x) - mx) * (y - my))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (intercept + slope * f(x))).powi(2))
+        .sum();
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - my).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    Some(Fit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+impl Fit {
+    /// Predict `y` for a raw `x` under a *linear* fit.
+    pub fn predict_linear(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Predict `y` for a raw `x` under a *logarithmic* fit
+    /// (`y = a + b·ln(x)`).
+    pub fn predict_log(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "log model undefined for x <= 0");
+        self.intercept + self.slope * x.ln()
+    }
+}
+
+/// Prediction accuracy as the paper reports it: `1 - |pred - actual| /
+/// actual`, clamped to `[0, 1]`. An accuracy of 0.92 means the estimate
+/// was within 8 % of the measured value.
+pub fn prediction_accuracy(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        return if predicted == 0.0 { 1.0 } else { 0.0 };
+    }
+    (1.0 - ((predicted - actual) / actual).abs()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.intercept - 3.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-10);
+        assert!((fit.predict_linear(10.0) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_fit_recovers_exact_log_curve() {
+        let pts: Vec<(f64, f64)> = [1.0f64, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&x| (x, 5.0 + 1.5 * x.ln()))
+            .collect();
+        let fit = log_fit(&pts).unwrap();
+        assert!((fit.slope - 1.5).abs() < 1e-10);
+        assert!((fit.intercept - 5.0).abs() < 1e-10);
+        assert!((fit.predict_log(16.0) - (5.0 + 1.5 * 16f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+        assert!(log_fit(&[(0.0, 1.0), (1.0, 2.0)]).is_none());
+        assert!(log_fit(&[(-1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn r_squared_penalises_noise() {
+        let clean: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, i as f64)).collect();
+        let noisy: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64, i as f64 + if i % 2 == 0 { 3.0 } else { -3.0 }))
+            .collect();
+        let r_clean = linear_fit(&clean).unwrap().r_squared;
+        let r_noisy = linear_fit(&noisy).unwrap().r_squared;
+        assert!(r_clean > r_noisy);
+    }
+
+    #[test]
+    fn accuracy_metric_matches_paper_convention() {
+        assert!((prediction_accuracy(92.0, 100.0) - 0.92).abs() < 1e-12);
+        assert!((prediction_accuracy(108.0, 100.0) - 0.92).abs() < 1e-12);
+        assert_eq!(prediction_accuracy(300.0, 100.0), 0.0); // clamped
+        assert_eq!(prediction_accuracy(0.0, 0.0), 1.0);
+        assert_eq!(prediction_accuracy(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn predict_log_rejects_nonpositive() {
+        let fit = Fit {
+            intercept: 0.0,
+            slope: 1.0,
+            r_squared: 1.0,
+        };
+        fit.predict_log(0.0);
+    }
+}

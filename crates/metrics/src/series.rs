@@ -1,0 +1,272 @@
+//! Named data series — the data behind each figure.
+//!
+//! Every figure in the paper is a grouped bar or line chart: a set of
+//! categories (workloads, input sizes) × a set of series (scheduling
+//! policies, process counts). [`FigureData`] captures exactly that, and
+//! renders to an aligned text table or CSV so the experiment binaries can
+//! regenerate the paper's plots as data.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single named series: ordered (category → value) pairs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataSeries {
+    /// Series label, e.g. `"RDA: Strict"`.
+    pub name: String,
+    /// Ordered points: category label → value.
+    pub points: Vec<(String, f64)>,
+}
+
+impl DataSeries {
+    /// New empty series with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, category: impl Into<String>, value: f64) {
+        self.points.push((category.into(), value));
+    }
+
+    /// Look up a value by category label.
+    pub fn get(&self, category: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(c, _)| c == category)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// The full data set of one figure: several series over shared categories.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier, e.g. `"Figure 7"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Unit of the plotted value, e.g. `"J"`, `"GFLOPS"`.
+    pub unit: String,
+    /// The series, in legend order.
+    pub series: Vec<DataSeries>,
+}
+
+impl FigureData {
+    /// New empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, unit: impl Into<String>) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            unit: unit.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a value to the series named `series` (creating it if absent)
+    /// under the given category.
+    pub fn add(&mut self, series: &str, category: &str, value: f64) {
+        if let Some(s) = self.series.iter_mut().find(|s| s.name == series) {
+            s.push(category, value);
+        } else {
+            let mut s = DataSeries::new(series);
+            s.push(category, value);
+            self.series.push(s);
+        }
+    }
+
+    /// Value for (series, category) if present.
+    pub fn get(&self, series: &str, category: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.name == series)?
+            .get(category)
+    }
+
+    /// The union of category labels, in first-seen order.
+    pub fn categories(&self) -> Vec<String> {
+        let mut seen = BTreeMap::new();
+        let mut out = Vec::new();
+        for s in &self.series {
+            for (c, _) in &s.points {
+                if seen.insert(c.clone(), ()).is_none() {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned text table: one row per category, one column
+    /// per series.
+    pub fn to_text_table(&self) -> String {
+        use crate::table::TextTable;
+        let mut header = vec!["workload".to_string()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut t = TextTable::new(header);
+        for cat in self.categories() {
+            let mut row = vec![cat.clone()];
+            for s in &self.series {
+                row.push(match s.get(&cat) {
+                    Some(v) => format_value(v),
+                    None => "-".to_string(),
+                });
+            }
+            t.add_row(row);
+        }
+        format!("{} — {} [{}]\n{}", self.id, self.title, self.unit, t.render())
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("**{} — {}** [{}]\n\n", self.id, self.title, self.unit);
+        out.push_str("| workload |");
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.name));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for cat in self.categories() {
+            out.push_str(&format!("| {cat} |"));
+            for s in &self.series {
+                match s.get(&cat) {
+                    Some(v) => out.push_str(&format!(" {} |", format_value(v))),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV with the same layout as [`Self::to_text_table`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("category");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for cat in self.categories() {
+            out.push_str(&cat);
+            for s in &self.series {
+                out.push(',');
+                match s.get(&cat) {
+                    Some(v) => out.push_str(&format!("{v}")),
+                    None => out.push_str(""),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.1 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        let mut f = FigureData::new("Figure 7", "System energy", "J");
+        f.add("Default", "BLAS-1", 100.0);
+        f.add("Strict", "BLAS-1", 104.0);
+        f.add("Default", "BLAS-3", 200.0);
+        f.add("Strict", "BLAS-3", 120.0);
+        f
+    }
+
+    #[test]
+    fn add_and_get() {
+        let f = fig();
+        assert_eq!(f.get("Strict", "BLAS-3"), Some(120.0));
+        assert_eq!(f.get("Strict", "missing"), None);
+        assert_eq!(f.get("missing", "BLAS-1"), None);
+    }
+
+    #[test]
+    fn categories_in_first_seen_order() {
+        let f = fig();
+        assert_eq!(f.categories(), vec!["BLAS-1".to_string(), "BLAS-3".to_string()]);
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let f = fig();
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert_eq!(line.matches(',').count(), 2, "line: {line}");
+        }
+        assert!(lines[0].starts_with("category,Default,Strict"));
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let f = fig();
+        let txt = f.to_text_table();
+        for needle in ["Figure 7", "BLAS-1", "BLAS-3", "Default", "Strict", "104", "120"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+
+    #[test]
+    fn missing_cells_render_dash() {
+        let mut f = FigureData::new("X", "t", "u");
+        f.add("A", "c1", 1.0);
+        f.add("B", "c2", 2.0);
+        let txt = f.to_text_table();
+        assert!(txt.contains('-'));
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let f = fig();
+        let md = f.to_markdown();
+        let lines: Vec<&str> = md.trim_end().lines().collect();
+        // Title + blank + header + separator + 2 data rows.
+        assert_eq!(lines.len(), 6, "{md}");
+        let pipes = |l: &str| l.matches('|').count();
+        assert_eq!(pipes(lines[2]), 4);
+        assert_eq!(pipes(lines[3]), 4);
+        assert_eq!(pipes(lines[4]), 4);
+        assert!(lines[0].contains("Figure 7"));
+    }
+
+    #[test]
+    fn markdown_marks_missing_cells() {
+        let mut f = FigureData::new("X", "t", "u");
+        f.add("A", "c1", 1.0);
+        f.add("B", "c2", 2.0);
+        assert!(f.to_markdown().contains('—'));
+    }
+
+    #[test]
+    fn series_roundtrip_through_json() {
+        let f = fig();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("Default", "BLAS-3"), Some(200.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! One experiment observation and its derived metrics.
+//!
+//! The paper reports four quantities per (workload, policy) cell:
+//! system energy (J), DRAM energy (J), GFLOPS, and GFLOPS per Watt.
+//! [`Measurement`] bundles the raw counters and energy for one run and
+//! derives exactly those quantities.
+
+use crate::counters::PerfCounters;
+use crate::energy::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// A complete observation of one workload execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Aggregated hardware counters over the run.
+    pub counters: PerfCounters,
+    /// Energy deposited over the run.
+    pub energy: EnergyBreakdown,
+    /// Wall-clock duration of the run in seconds (simulated).
+    pub wall_secs: f64,
+}
+
+impl Measurement {
+    /// Achieved GFLOPS: total FLOPs / wall-clock seconds / 1e9.
+    pub fn gflops(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.counters.flops as f64 / self.wall_secs / 1e9
+        }
+    }
+
+    /// System energy in Joules (Figure 7's metric).
+    pub fn system_joules(&self) -> f64 {
+        self.energy.system_joules()
+    }
+
+    /// DRAM energy in Joules (Figure 8's metric).
+    pub fn dram_joules(&self) -> f64 {
+        self.energy.dram_joules
+    }
+
+    /// GFLOPS per Watt of system power (Figure 10's metric), i.e.
+    /// FLOPs divided by system Joules, scaled to 1e9.
+    pub fn gflops_per_watt(&self) -> f64 {
+        let j = self.system_joules();
+        if j <= 0.0 {
+            0.0
+        } else {
+            self.counters.flops as f64 / j / 1e9
+        }
+    }
+
+    /// Merge a second observation (e.g. another process of the same
+    /// workload) into this one. Wall-clock takes the max because the
+    /// workload completes when its last process does.
+    pub fn absorb(&mut self, other: &Measurement) {
+        self.counters.absorb(&other.counters);
+        self.energy += other.energy;
+        self.wall_secs = self.wall_secs.max(other.wall_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(flops: u64, pkg: f64, dram: f64, secs: f64) -> Measurement {
+        Measurement {
+            counters: PerfCounters {
+                flops,
+                ..Default::default()
+            },
+            energy: EnergyBreakdown {
+                pkg_joules: pkg,
+                dram_joules: dram,
+            },
+            wall_secs: secs,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = meas(2_000_000_000, 30.0, 10.0, 2.0);
+        assert!((m.gflops() - 1.0).abs() < 1e-12);
+        assert!((m.system_joules() - 40.0).abs() < 1e-12);
+        assert!((m.dram_joules() - 10.0).abs() < 1e-12);
+        assert!((m.gflops_per_watt() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_and_energy_are_benign() {
+        let m = meas(100, 0.0, 0.0, 0.0);
+        assert_eq!(m.gflops(), 0.0);
+        assert_eq!(m.gflops_per_watt(), 0.0);
+    }
+
+    #[test]
+    fn absorb_takes_max_wallclock_and_sums_rest() {
+        let mut a = meas(1_000, 1.0, 1.0, 3.0);
+        let b = meas(2_000, 2.0, 2.0, 5.0);
+        a.absorb(&b);
+        assert_eq!(a.counters.flops, 3_000);
+        assert!((a.system_joules() - 6.0).abs() < 1e-12);
+        assert_eq!(a.wall_secs, 5.0);
+    }
+
+    #[test]
+    fn gflops_per_watt_identity() {
+        // GFLOPS/W == GFLOPS / average watts.
+        let m = meas(4_000_000_000, 10.0, 10.0, 2.0);
+        let via_power = m.gflops() / m.energy.average_watts(m.wall_secs);
+        assert!((m.gflops_per_watt() - via_power).abs() < 1e-12);
+    }
+}

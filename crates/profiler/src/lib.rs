@@ -1,0 +1,35 @@
+//! # rda-profiler
+//!
+//! The paper's "preliminary profiler" (§2.4), built on the trace layer
+//! of `rda-workloads` instead of Intel PIN:
+//!
+//! 1. [`window`] — decompose a memory trace into fixed-size sampling
+//!    windows and compute, per window, the **footprint** (distinct
+//!    cache lines), the **working-set size** (lines accessed at least a
+//!    configured number of times), and the **reuse ratio** (mean
+//!    accesses per distinct line).
+//! 2. [`detect`] — the paper's repetition detector: find runs of
+//!    consecutive windows with sufficiently similar statistics, extend
+//!    them until behaviour changes, and emit the detected **progress
+//!    periods**.
+//! 3. [`loopmap`] — the Dyninst-ParseAPI stand-in: map each detected
+//!    period to the loop-nest structure via the sampled loop back-edge
+//!    records, widening to the outermost enclosing loop.
+//! 4. [`annotate`] — convert detected periods into `pp_begin`-ready
+//!    annotations (working-set bytes + reuse level).
+//! 5. [`wss`] — the Figure 12 study: profile an application at several
+//!    input scales, fit `WSS = a + b·ln(input)` on the first scales,
+//!    and report prediction accuracy on the last.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod detect;
+pub mod loopmap;
+pub mod window;
+pub mod wss;
+
+pub use annotate::PpAnnotation;
+pub use detect::{detect_periods, DetectedPeriod, DetectorConfig};
+pub use loopmap::LoopNest;
+pub use window::{windowize, WindowConfig, WindowStats};

@@ -1,0 +1,31 @@
+//! # rda-sched
+//!
+//! The baseline scheduling substrate the paper builds on. The authors
+//! extend "the Linux 4.6.0 default scheduler"; this crate is our
+//! equivalent substrate: a completely-fair-scheduler (CFS) style
+//! policy with
+//!
+//! * per-core runqueues ordered by **virtual runtime** ([`runqueue`]),
+//! * `sched_latency`-derived timeslices and preemption checks ([`cfs`]),
+//! * wake-time core placement with affinity and idlest-queue fallback,
+//! * periodic **load balancing** between queues, and
+//! * **wait queues with wake events** ([`waitqueue`]) — the kernel
+//!   mechanism §3 of the paper uses to pause and resume threads at
+//!   progress-period boundaries.
+//!
+//! The scheduler is a passive state machine: the discrete-event driver
+//! in `rda-sim` asks it which task to run next and reports elapsed
+//! execution; the RDA extension in `rda-core` sits between the two,
+//! intercepting progress-period events exactly as the paper's kernel
+//! module interposes on the stock scheduler.
+
+#![warn(missing_docs)]
+
+pub mod cfs;
+pub mod runqueue;
+pub mod task;
+pub mod waitqueue;
+
+pub use cfs::{CfsScheduler, SchedConfig, SchedStats};
+pub use task::{ProcessId, Task, TaskId, TaskState};
+pub use waitqueue::WaitQueue;

@@ -1,0 +1,116 @@
+//! Wait queues with wake events.
+//!
+//! Section 3 of the paper: *"To pause and resume threads, our scheduling
+//! extension utilizes a wait queue with wake events inside the Linux
+//! kernel."* This is that mechanism: a FIFO of sleeping tasks, with
+//! wake-one / wake-all events. The RDA waitlist in `rda-core` and the
+//! barrier support in `rda-sim` both build on it.
+
+use crate::task::TaskId;
+use std::collections::VecDeque;
+
+/// A FIFO wait queue of blocked tasks.
+#[derive(Debug, Clone, Default)]
+pub struct WaitQueue {
+    sleepers: VecDeque<TaskId>,
+}
+
+impl WaitQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sleeping tasks.
+    pub fn len(&self) -> usize {
+        self.sleepers.len()
+    }
+
+    /// True when nothing is sleeping here.
+    pub fn is_empty(&self) -> bool {
+        self.sleepers.is_empty()
+    }
+
+    /// Add a task to the back of the queue. The caller is responsible
+    /// for blocking it in the scheduler.
+    pub fn sleep(&mut self, id: TaskId) {
+        debug_assert!(!self.sleepers.contains(&id), "{id} double-slept");
+        self.sleepers.push_back(id);
+    }
+
+    /// Wake the longest-sleeping task, if any. The caller is
+    /// responsible for waking it in the scheduler.
+    pub fn wake_one(&mut self) -> Option<TaskId> {
+        self.sleepers.pop_front()
+    }
+
+    /// Wake every sleeping task, in FIFO order.
+    pub fn wake_all(&mut self) -> Vec<TaskId> {
+        self.sleepers.drain(..).collect()
+    }
+
+    /// Remove a specific task (e.g. it was killed while sleeping).
+    /// Returns true if it was present.
+    pub fn cancel(&mut self, id: TaskId) -> bool {
+        if let Some(pos) = self.sleepers.iter().position(|&t| t == id) {
+            self.sleepers.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate the sleepers front-to-back without waking them.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.sleepers.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_wake_order() {
+        let mut q = WaitQueue::new();
+        q.sleep(TaskId(1));
+        q.sleep(TaskId(2));
+        q.sleep(TaskId(3));
+        assert_eq!(q.wake_one(), Some(TaskId(1)));
+        assert_eq!(q.wake_one(), Some(TaskId(2)));
+        assert_eq!(q.wake_one(), Some(TaskId(3)));
+        assert_eq!(q.wake_one(), None);
+    }
+
+    #[test]
+    fn wake_all_drains_in_order() {
+        let mut q = WaitQueue::new();
+        for i in 0..5 {
+            q.sleep(TaskId(i));
+        }
+        let woken = q.wake_all();
+        assert_eq!(woken, (0..5).map(TaskId).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_mid_queue() {
+        let mut q = WaitQueue::new();
+        q.sleep(TaskId(1));
+        q.sleep(TaskId(2));
+        q.sleep(TaskId(3));
+        assert!(q.cancel(TaskId(2)));
+        assert!(!q.cancel(TaskId(2)));
+        assert_eq!(q.wake_all(), vec![TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn len_tracks_population() {
+        let mut q = WaitQueue::new();
+        assert!(q.is_empty());
+        q.sleep(TaskId(7));
+        assert_eq!(q.len(), 1);
+        q.wake_one();
+        assert!(q.is_empty());
+    }
+}

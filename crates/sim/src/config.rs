@@ -1,0 +1,64 @@
+//! Simulation configuration.
+
+use rda_core::PolicyKind;
+use rda_machine::{EnergyModel, MachineConfig};
+use rda_machine::perf::PerfParams;
+use rda_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything a [`crate::SystemSim`] needs besides the workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The simulated machine (Table 1 by default).
+    pub machine: MachineConfig,
+    /// Analytical performance-model coefficients.
+    pub perf_params: PerfParams,
+    /// RAPL-style energy model coefficients.
+    pub energy: EnergyModel,
+    /// Scheduling policy under test.
+    pub policy: PolicyKind,
+    /// Load-balancer period.
+    pub rebalance_every: SimDuration,
+    /// Safety cutoff: simulations that exceed this much simulated time
+    /// abort (indicates a deadlock or runaway configuration).
+    pub max_sim_seconds: f64,
+    /// When set, record a [`crate::system::TimelineSample`] every this
+    /// many cycles (core utilisation, LLC pressure, waitlist depth).
+    pub sample_every: Option<SimDuration>,
+}
+
+impl SimConfig {
+    /// Paper-default configuration for a given policy.
+    pub fn paper_default(policy: PolicyKind) -> Self {
+        let machine = MachineConfig::xeon_e5_2420();
+        let rebalance_every = SimDuration::from_micros(50_000.0, machine.freq_hz); // 50 ms
+        SimConfig {
+            machine,
+            perf_params: PerfParams::default(),
+            energy: EnergyModel::default(),
+            policy,
+            rebalance_every,
+            max_sim_seconds: 1000.0,
+            sample_every: None,
+        }
+    }
+
+    /// Enable timeline sampling at the given period in milliseconds.
+    pub fn with_sampling_ms(mut self, ms: f64) -> Self {
+        self.sample_every = Some(SimDuration::from_micros(ms * 1e3, self.machine.freq_hz));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = SimConfig::paper_default(PolicyKind::Strict);
+        assert!(c.machine.validate().is_ok());
+        assert!(c.rebalance_every.cycles() > 0);
+        assert_eq!(c.policy, PolicyKind::Strict);
+    }
+}

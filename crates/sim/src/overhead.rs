@@ -1,0 +1,176 @@
+//! The Figure 11 granularity study: progress-tracking overhead.
+//!
+//! The paper decomposes a 512³ dgemm into progress periods at three
+//! granularities — the outermost loop (1 period), the middle loop
+//! (512 periods), the innermost loop (512² = 262 144 periods) — and
+//! runs a single instance solo under RDA:Strict. Measured overheads:
+//! none / ≈19 % / ≈59 %.
+//!
+//! [`granularity_study`] builds exactly those programs (same total
+//! work, split into 1 / n / n² tracked phases) and measures achieved
+//! GFLOPS per granularity against the untracked baseline.
+
+use crate::config::SimConfig;
+use crate::system::SystemSim;
+use rda_core::{mb, PolicyKind, SiteId};
+use rda_machine::ReuseLevel;
+use rda_metrics::FigureData;
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Total instructions of the dgemm kernel (512³ MACs ≈ 2×512³ flops at
+/// 45 % FLOP density ≈ 600 M instructions).
+pub const DGEMM_INSTR: u64 = 600_000_000;
+/// dgemm working set at n = 512 with blocking: ~2.4 MB.
+pub const DGEMM_WS_MB: f64 = 2.4;
+/// The paper's loop trip count.
+pub const N: u64 = 512;
+
+/// One measured granularity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GranularityPoint {
+    /// Label ("no pp", "outer", "middle", "inner").
+    pub label: String,
+    /// Number of progress periods the run was split into.
+    pub periods: u64,
+    /// Achieved GFLOPS.
+    pub gflops: f64,
+    /// Overhead vs the untracked baseline (0.19 = 19 % slower).
+    pub overhead: f64,
+    /// Fast-path share of all API calls.
+    pub fastpath_share: f64,
+}
+
+fn dgemm_program(periods: u64) -> WorkloadSpec {
+    assert!((1..=DGEMM_INSTR).contains(&periods));
+    let instr_per_phase = DGEMM_INSTR / periods;
+    let phases = (0..periods)
+        .map(|_| {
+            Phase::tracked(
+                "dgemm-pp",
+                instr_per_phase,
+                mb(DGEMM_WS_MB),
+                ReuseLevel::High,
+                SiteId(0),
+            )
+        })
+        .collect();
+    WorkloadSpec {
+        name: format!("dgemm/{periods}"),
+        processes: vec![ProcessProgram { threads: 1, phases }],
+    }
+}
+
+fn untracked_program() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "dgemm/untracked".into(),
+        processes: vec![ProcessProgram {
+            threads: 1,
+            phases: vec![Phase::untracked(
+                "dgemm",
+                DGEMM_INSTR,
+                mb(DGEMM_WS_MB),
+                ReuseLevel::High,
+            )],
+        }],
+    }
+}
+
+fn measure(spec: &WorkloadSpec) -> (f64, f64) {
+    let mut sim = SystemSim::new(SimConfig::paper_default(PolicyKind::Strict), spec);
+    let r = sim.run().expect("solo dgemm must complete");
+    let calls = r.rda.begins + r.rda.ends;
+    let fast = r.rda.fast_begins + r.rda.fast_ends;
+    let share = if calls == 0 {
+        0.0
+    } else {
+        fast as f64 / calls as f64
+    };
+    (r.measurement.gflops(), share)
+}
+
+/// Run the full granularity study. `n` defaults to the paper's 512.
+pub fn granularity_study(n: u64) -> Vec<GranularityPoint> {
+    let (base_gflops, _) = measure(&untracked_program());
+    let mut out = vec![GranularityPoint {
+        label: "no progress periods".into(),
+        periods: 0,
+        gflops: base_gflops,
+        overhead: 0.0,
+        fastpath_share: 0.0,
+    }];
+    for (label, periods) in [("outer", 1), ("middle", n), ("inner", n * n)] {
+        let (gflops, fastpath_share) = measure(&dgemm_program(periods));
+        out.push(GranularityPoint {
+            label: label.into(),
+            periods,
+            gflops,
+            overhead: (base_gflops - gflops) / base_gflops,
+            fastpath_share,
+        });
+    }
+    out
+}
+
+/// Figure 11 data from a study.
+pub fn figure11(points: &[GranularityPoint]) -> FigureData {
+    let mut fig = FigureData::new(
+        "Figure 11",
+        "dgemm throughput vs progress-period granularity (solo, RDA:Strict)",
+        "GFLOPS",
+    );
+    for p in points {
+        fig.add("dgemm", &p.label, p.gflops);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_granularity_is_nearly_free() {
+        let pts = granularity_study(64);
+        assert_eq!(pts.len(), 4);
+        let outer = &pts[1];
+        assert!(outer.overhead < 0.01, "outer overhead {}", outer.overhead);
+    }
+
+    #[test]
+    fn paper_granularities_reproduce_figure11_shape() {
+        // The paper's exact setup: n = 512 → 1 / 512 / 262 144 periods,
+        // measured overheads 0 % / ~19 % / ~59 %.
+        let pts = granularity_study(N);
+        let (outer, middle, inner) = (&pts[1], &pts[2], &pts[3]);
+        assert!(outer.overhead < 0.01, "outer {}", outer.overhead);
+        assert!(
+            (0.05..0.40).contains(&middle.overhead),
+            "middle {}",
+            middle.overhead
+        );
+        assert!(
+            (0.30..0.80).contains(&inner.overhead),
+            "inner {}",
+            inner.overhead
+        );
+        assert!(inner.overhead > middle.overhead);
+        // 512× more periods cost far less than 512× more overhead: the
+        // decision fast path serves almost every inner-loop call.
+        let per_period_mid = middle.overhead / middle.periods as f64;
+        let per_period_inner = inner.overhead / inner.periods as f64;
+        assert!(
+            per_period_inner < per_period_mid / 10.0,
+            "per-period cost must collapse: {per_period_inner} vs {per_period_mid}"
+        );
+        assert!(inner.fastpath_share > 0.9, "share {}", inner.fastpath_share);
+        assert!(middle.fastpath_share < 0.1, "share {}", middle.fastpath_share);
+    }
+
+    #[test]
+    fn figure11_has_four_bars() {
+        let pts = granularity_study(16);
+        let fig = figure11(&pts);
+        assert_eq!(fig.categories().len(), 4);
+    }
+}

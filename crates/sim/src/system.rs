@@ -1,0 +1,702 @@
+//! The full-system discrete-event simulation.
+//!
+//! [`SystemSim`] advances a workload through piecewise-constant-rate
+//! intervals: whenever the set of co-running threads changes (a phase
+//! completes, a timeslice expires, a process is paused or resumed), the
+//! machine model re-solves every running thread's instruction rate —
+//! LLC shares from the *distinct processes currently on-CPU*, DRAM
+//! queueing from their aggregate miss traffic — and the simulation
+//! jumps to the next event. Energy is integrated per interval with the
+//! RAPL-style model.
+//!
+//! Progress-period begin/end costs and context-switch cache-refill
+//! penalties are charged to threads as pending *overhead cycles*,
+//! executed before their phase work — this is where Figure 11's
+//! tracking overhead and Figure 1's reload effect live.
+
+use crate::config::SimConfig;
+use rda_core::{BeginOutcome, RdaConfig, RdaExtension, RdaStats};
+use rda_machine::PerfModel;
+use rda_metrics::{EnergyBreakdown, Measurement, PerfCounters};
+use rda_sched::{CfsScheduler, ProcessId, SchedConfig, SchedStats, TaskId};
+use rda_simcore::{SimDuration, SimTime, SplitMix64};
+use rda_workloads::{ProcessProgram, WorkloadSpec};
+
+/// Result of one simulated workload execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Counters, energy, and wall-clock of the run.
+    pub measurement: Measurement,
+    /// RDA extension activity.
+    pub rda: RdaStats,
+    /// Scheduler activity.
+    pub sched: SchedStats,
+    /// Per-process completion times (seconds).
+    pub finish_secs: Vec<f64>,
+    /// Periodic samples (empty unless `SimConfig::sample_every` set).
+    pub timeline: Vec<TimelineSample>,
+}
+
+/// One periodic observation of system state.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimelineSample {
+    /// Sample time, seconds.
+    pub t_secs: f64,
+    /// Cores executing a thread.
+    pub busy_cores: usize,
+    /// Threads runnable or running.
+    pub active_threads: usize,
+    /// Summed working sets of the distinct processes on-CPU, bytes.
+    pub running_pressure_bytes: u64,
+    /// Summed accounted demand of admitted progress periods, bytes.
+    pub admitted_demand_bytes: u64,
+    /// Progress periods waiting on the LLC waitlist.
+    pub waitlisted: usize,
+}
+
+impl RunResult {
+    /// Mean busy-core fraction over the timeline (NaN without
+    /// sampling).
+    pub fn mean_utilization(&self, cores: usize) -> f64 {
+        let n = self.timeline.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.timeline.iter().map(|s| s.busy_cores).sum::<usize>() as f64 / (n * cores) as f64
+    }
+
+    /// Fairness across processes: max finish time / mean finish time
+    /// (1.0 = perfectly even completion).
+    pub fn finish_spread(&self) -> f64 {
+        if self.finish_secs.is_empty() {
+            return 1.0;
+        }
+        let max = self.finish_secs.iter().cloned().fold(0.0, f64::max);
+        let mean = self.finish_secs.iter().sum::<f64>() / self.finish_secs.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+struct Proc {
+    program: ProcessProgram,
+    phase: usize,
+    pp: Option<rda_core::PpId>,
+    tasks: Vec<TaskId>,
+    remaining: Vec<u64>,
+    done_threads: usize,
+    finished: bool,
+    finish_time: SimTime,
+}
+
+struct Thread {
+    proc: usize,
+    slot: usize,
+    overhead: u64,
+}
+
+/// The simulator.
+pub struct SystemSim {
+    cfg: SimConfig,
+    perf: PerfModel,
+    sched: CfsScheduler,
+    rda: RdaExtension,
+    procs: Vec<Proc>,
+    threads: Vec<Thread>,
+    now: SimTime,
+    counters: PerfCounters,
+    energy: EnergyBreakdown,
+    slice_end: Vec<SimTime>,
+    last_on_core: Vec<Option<TaskId>>,
+    next_rebalance: SimTime,
+    unfinished: usize,
+    /// Deterministic jitter source for timeslice lengths. Real systems
+    /// never keep cores' scheduling epochs aligned (interrupts, wake
+    /// latencies); without jitter, identical processes woken in order
+    /// rotate in lockstep and accidentally gang-schedule themselves,
+    /// which hides the cross-process cache interference the paper
+    /// measures.
+    jitter: SplitMix64,
+    next_sample: SimTime,
+    timeline: Vec<TimelineSample>,
+}
+
+impl SystemSim {
+    /// Build a simulation of `spec` under `cfg`.
+    pub fn new(cfg: SimConfig, spec: &WorkloadSpec) -> Self {
+        cfg.machine.validate().expect("invalid machine config");
+        let perf = PerfModel::with_params(cfg.machine.clone(), cfg.perf_params.clone());
+        let mut sched = CfsScheduler::new(SchedConfig::from_machine(&cfg.machine));
+        let rda = RdaExtension::new(RdaConfig::for_machine(&cfg.machine, cfg.policy));
+
+        let mut procs = Vec::with_capacity(spec.processes.len());
+        let mut threads = Vec::new();
+        for (p, program) in spec.processes.iter().enumerate() {
+            assert!(program.threads > 0, "process without threads");
+            assert!(
+                program.phases.iter().all(|ph| ph.instr_per_thread > 0),
+                "phases must do work"
+            );
+            let mut tasks = Vec::with_capacity(program.threads);
+            for slot in 0..program.threads {
+                let tid = sched.add_task(ProcessId(p as u32));
+                assert_eq!(tid.0 as usize, threads.len());
+                threads.push(Thread {
+                    proc: p,
+                    slot,
+                    overhead: 0,
+                });
+                tasks.push(tid);
+            }
+            procs.push(Proc {
+                remaining: vec![0; program.threads],
+                program: program.clone(),
+                phase: 0,
+                pp: None,
+                tasks,
+                done_threads: 0,
+                finished: false,
+                finish_time: SimTime::ZERO,
+            });
+        }
+        let cores = cfg.machine.cores;
+        let next_rebalance = SimTime::ZERO + cfg.rebalance_every;
+        let mut sim = SystemSim {
+            perf,
+            sched,
+            rda,
+            procs,
+            threads,
+            now: SimTime::ZERO,
+            counters: PerfCounters::new(),
+            energy: EnergyBreakdown::new(),
+            slice_end: vec![SimTime::ZERO; cores],
+            last_on_core: vec![None; cores],
+            next_rebalance,
+            unfinished: spec.processes.len(),
+            jitter: SplitMix64::new(0x0005_c4ed_1234),
+            next_sample: cfg
+                .sample_every
+                .map_or(SimTime::MAX, |d| SimTime::ZERO + d),
+            timeline: Vec::new(),
+            cfg,
+        };
+        for p in 0..sim.procs.len() {
+            sim.enter_phase(p);
+        }
+        sim
+    }
+
+    /// Immutable access to the RDA extension (for assertions in tests).
+    pub fn rda(&self) -> &RdaExtension {
+        &self.rda
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn call_cost(&self, fast: bool) -> u64 {
+        self.rda.call_cost_cycles(fast)
+    }
+
+    fn wake_proc(&mut self, p: usize) {
+        for i in 0..self.procs[p].tasks.len() {
+            let tid = self.procs[p].tasks[i];
+            // Only wake threads that still have work in this phase.
+            if self.procs[p].remaining[i] > 0 || self.threads[tid.0 as usize].overhead > 0 {
+                self.sched.wake(tid);
+            }
+        }
+    }
+
+    /// Start the current phase of process `p` (or finish the process).
+    fn enter_phase(&mut self, p: usize) {
+        if self.procs[p].phase >= self.procs[p].program.phases.len() {
+            self.finish_proc(p);
+            return;
+        }
+        let phase = self.procs[p].program.phases[self.procs[p].phase].clone();
+        for r in self.procs[p].remaining.iter_mut() {
+            *r = phase.instr_per_thread;
+        }
+        self.procs[p].done_threads = 0;
+
+        match &phase.pp {
+            Some(pp) if self.cfg.policy.is_gating() => {
+                let t0 = self.procs[p].tasks[0].0 as usize;
+                let outcome =
+                    self.rda
+                        .pp_begin(ProcessId(p as u32), pp.site, pp.demand, self.now);
+                match outcome {
+                    BeginOutcome::Bypass => self.wake_proc(p),
+                    BeginOutcome::Run { pp, fast } => {
+                        self.procs[p].pp = Some(pp);
+                        self.threads[t0].overhead += self.call_cost(fast);
+                        self.wake_proc(p);
+                    }
+                    BeginOutcome::Pause { pp } => {
+                        // The process pauses on the kernel wait queue
+                        // until a completing period releases capacity
+                        // (§3.1). Its whole thread group stays blocked
+                        // (§3.4's thread-pool rule).
+                        self.procs[p].pp = Some(pp);
+                        self.threads[t0].overhead += self.call_cost(false);
+                        self.counters.waitlisted += 1;
+                    }
+                }
+            }
+            _ => self.wake_proc(p),
+        }
+    }
+
+    fn finish_proc(&mut self, p: usize) {
+        debug_assert!(!self.procs[p].finished);
+        self.procs[p].finished = true;
+        self.procs[p].finish_time = self.now;
+        for i in 0..self.procs[p].tasks.len() {
+            let tid = self.procs[p].tasks[i];
+            self.sched.finish(tid);
+        }
+        self.unfinished -= 1;
+    }
+
+    /// A thread completed its phase quota: barrier-block it; when the
+    /// last sibling arrives, close the phase.
+    fn thread_done(&mut self, tid: TaskId) {
+        self.sched.block(tid);
+        let p = self.threads[tid.0 as usize].proc;
+        self.procs[p].done_threads += 1;
+        if self.procs[p].done_threads == self.procs[p].tasks.len() {
+            self.phase_end(p);
+        }
+    }
+
+    fn phase_end(&mut self, p: usize) {
+        let resumed = if let Some(pp) = self.procs[p].pp.take() {
+            let t0 = self.procs[p].tasks[0].0 as usize;
+            let out = self.rda.pp_end(pp, self.now);
+            self.threads[t0].overhead += self.call_cost(out.fast);
+            out.resumed
+        } else {
+            Vec::new()
+        };
+        self.procs[p].phase += 1;
+        self.enter_phase(p);
+        for (_pp, pid) in resumed {
+            let q = pid.0 as usize;
+            debug_assert!(self.procs[q].pp.is_some(), "resumed process lost its period");
+            self.wake_proc(q);
+        }
+    }
+
+    fn current_profile(&self, p: usize) -> rda_machine::AccessProfile {
+        self.procs[p].program.phases[self.procs[p].phase].profile
+    }
+
+    fn fill_cores(&mut self) {
+        let cores = self.cfg.machine.cores;
+        for core in 0..cores {
+            if self.sched.running_on(core).is_some() {
+                continue;
+            }
+            if self.sched.queue_len(core) == 0 {
+                self.sched.idle_steal(core);
+            }
+            if let Some(tid) = self.sched.pick_next(core) {
+                self.on_switch_in(core, tid);
+                let slice = self.jittered_slice(core);
+                self.slice_end[core] = self.now + SimDuration::from_cycles(slice);
+            }
+        }
+    }
+
+    /// Timeslice for `core` with ±15 % deterministic jitter.
+    fn jittered_slice(&mut self, core: usize) -> u64 {
+        let base = self.sched.timeslice(core);
+        let r = self.jitter.next_f64(); // [0, 1)
+        ((base as f64) * (0.85 + 0.30 * r)) as u64
+    }
+
+    fn on_switch_in(&mut self, core: usize, tid: TaskId) {
+        if self.last_on_core[core] != Some(tid) {
+            self.counters.context_switches += 1;
+            let p = self.threads[tid.0 as usize].proc;
+            let ws = self.current_profile(p).ws_bytes;
+            self.threads[tid.0 as usize].overhead += self.cfg.machine.context_switch_cycles
+                + self.perf.switch_warmup_cycles(ws);
+        }
+        self.last_on_core[core] = Some(tid);
+    }
+
+    fn take_sample(&mut self) {
+        let running: Vec<TaskId> = self.sched.running_tasks().map(|(_, t)| t).collect();
+        let mut seen: Vec<usize> = Vec::new();
+        let mut pressure = 0u64;
+        for tid in &running {
+            let p = self.threads[tid.0 as usize].proc;
+            if !self.procs[p].finished && !seen.contains(&p) {
+                seen.push(p);
+                pressure += self.current_profile(p).ws_bytes;
+            }
+        }
+        self.timeline.push(TimelineSample {
+            t_secs: self.now.as_secs(self.cfg.machine.freq_hz),
+            busy_cores: running.len(),
+            active_threads: self.sched.active_tasks().count(),
+            running_pressure_bytes: pressure,
+            admitted_demand_bytes: self.rda.usage(rda_core::Resource::Llc),
+            waitlisted: self.rda.waitlist_len(rda_core::Resource::Llc),
+        });
+    }
+
+    /// Execute the workload to completion.
+    pub fn run(&mut self) -> Result<RunResult, String> {
+        let freq = self.cfg.machine.freq_hz;
+        let max_cycles = (self.cfg.max_sim_seconds * freq) as u64;
+
+        while self.unfinished > 0 {
+            if self.now.cycles() > max_cycles {
+                return Err(format!(
+                    "simulation exceeded {} s — deadlock or runaway workload",
+                    self.cfg.max_sim_seconds
+                ));
+            }
+            self.fill_cores();
+            let running: Vec<(usize, TaskId)> = self.sched.running_tasks().collect();
+            if running.is_empty() {
+                return Err("no runnable threads: scheduling deadlock".into());
+            }
+
+            // --- rates for the co-running set ---
+            // LLC pressure: distinct processes with at least one thread
+            // on-CPU compete for capacity.
+            let mut seen_procs: Vec<usize> = Vec::with_capacity(running.len());
+            let mut total_ws: u64 = 0;
+            for &(_, tid) in &running {
+                let p = self.threads[tid.0 as usize].proc;
+                if !seen_procs.contains(&p) {
+                    seen_procs.push(p);
+                    total_ws += self.current_profile(p).ws_bytes;
+                }
+            }
+            let entries: Vec<(rda_machine::AccessProfile, u64)> = running
+                .iter()
+                .map(|&(_, tid)| {
+                    let p = self.threads[tid.0 as usize].proc;
+                    let prof = self.current_profile(p);
+                    let share = self.perf.llc_share(prof.ws_bytes, total_ws);
+                    (prof, share)
+                })
+                .collect();
+            let rates = self.perf.solve_corun(&entries);
+
+            // --- horizon: next event distance in cycles ---
+            let mut dt = self.next_rebalance.since(self.now).cycles().max(1);
+            if self.next_sample != SimTime::MAX {
+                dt = dt.min(self.next_sample.since(self.now).cycles().max(1));
+            }
+            for (i, &(core, tid)) in running.iter().enumerate() {
+                let th = &self.threads[tid.0 as usize];
+                let rem = self.procs[th.proc].remaining[th.slot];
+                let finish = th.overhead + (rem as f64 * rates[i].cpi).ceil() as u64;
+                dt = dt.min(finish.max(1));
+                dt = dt.min(self.slice_end[core].since(self.now).cycles().max(1));
+            }
+
+            // --- advance all running threads by dt ---
+            let mut delta = PerfCounters::new();
+            for (i, &(core, tid)) in running.iter().enumerate() {
+                let th = &mut self.threads[tid.0 as usize];
+                let mut cyc = dt;
+                let burned = th.overhead.min(cyc);
+                th.overhead -= burned;
+                cyc -= burned;
+                if cyc > 0 {
+                    let r = &rates[i];
+                    let p = th.proc;
+                    let slot = th.slot;
+                    let prof = self.procs[p].program.phases[self.procs[p].phase].profile;
+                    let rem = self.procs[p].remaining[slot];
+                    let instr = ((cyc as f64 / r.cpi) as u64).min(rem);
+                    self.procs[p].remaining[slot] = rem - instr;
+                    delta.instructions += instr;
+                    delta.flops += (instr as f64 * prof.flop_frac) as u64;
+                    delta.mem_ops += (instr as f64 * prof.mem_frac) as u64;
+                    delta.l1_misses += (instr as f64 * r.l1_mpi) as u64;
+                    delta.llc_accesses += (instr as f64 * r.llc_api) as u64;
+                    delta.llc_misses += (instr as f64 * r.llc_mpi) as u64;
+                }
+                delta.cycles += dt;
+                self.sched.charge(core, dt);
+            }
+            let wall = dt as f64 / freq;
+            let busy = running.len() as f64 * wall;
+            self.energy += self.cfg.energy.interval_energy(wall, busy, &delta);
+            self.counters += delta;
+            self.now += SimDuration::from_cycles(dt);
+
+            // --- events ---
+            for &(_, tid) in &running {
+                let th = &self.threads[tid.0 as usize];
+                if th.overhead == 0 && self.procs[th.proc].remaining[th.slot] == 0 {
+                    self.thread_done(tid);
+                }
+            }
+            for core in 0..self.cfg.machine.cores {
+                let Some(tid) = self.sched.running_on(core) else {
+                    continue;
+                };
+                if self.now >= self.slice_end[core] {
+                    if self.sched.queue_len(core) > 0 {
+                        self.sched.yield_current(core);
+                        if let Some(next) = self.sched.pick_next(core) {
+                            self.on_switch_in(core, next);
+                        }
+                    }
+                    let slice = self.jittered_slice(core);
+                    self.slice_end[core] = self.now + SimDuration::from_cycles(slice);
+                    let _ = tid;
+                }
+            }
+            if self.now >= self.next_rebalance {
+                self.sched.rebalance();
+                self.next_rebalance = self.now + self.cfg.rebalance_every;
+            }
+            if self.now >= self.next_sample {
+                self.take_sample();
+                // `next_sample` is finite only when sampling is on.
+                self.next_sample = self.now + self.cfg.sample_every.unwrap();
+            }
+        }
+
+        // Mirror extension activity into the perf counters.
+        let rs = self.rda.stats();
+        self.counters.pp_begins = rs.begins;
+        self.counters.pp_ends = rs.ends;
+        self.counters.fastpath_hits = rs.fast_begins + rs.fast_ends;
+        self.counters.waitlisted = rs.paused;
+        self.counters.migrations = self.sched.stats().migrations;
+
+        self.rda
+            .check_invariants()
+            .map_err(|e| format!("RDA invariant violated: {e}"))?;
+
+        Ok(RunResult {
+            measurement: Measurement {
+                counters: self.counters,
+                energy: self.energy,
+                wall_secs: self.now.as_secs(freq),
+            },
+            rda: rs,
+            sched: self.sched.stats(),
+            finish_secs: self
+                .procs
+                .iter()
+                .map(|p| p.finish_time.as_secs(freq))
+                .collect(),
+            timeline: std::mem::take(&mut self.timeline),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::mb;
+    use rda_machine::ReuseLevel;
+    use rda_workloads::Phase;
+
+    fn tiny_workload(procs: usize, threads: usize, ws_mb: f64, instr: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny".into(),
+            processes: (0..procs)
+                .map(|_| ProcessProgram {
+                    threads,
+                    phases: vec![Phase::tracked(
+                        "work",
+                        instr,
+                        mb(ws_mb),
+                        ReuseLevel::High,
+                        rda_core::SiteId(0),
+                    )],
+                })
+                .collect(),
+        }
+    }
+
+    fn run(policy: rda_core::PolicyKind, spec: &WorkloadSpec) -> RunResult {
+        let mut sim = SystemSim::new(SimConfig::paper_default(policy), spec);
+        sim.run().expect("simulation must complete")
+    }
+
+    #[test]
+    fn single_process_completes_and_measures() {
+        let spec = tiny_workload(1, 1, 2.0, 50_000_000);
+        let r = run(rda_core::PolicyKind::DefaultOnly, &spec);
+        assert!(r.measurement.wall_secs > 0.0);
+        assert!(r.measurement.counters.instructions >= 50_000_000);
+        assert!(r.measurement.gflops() > 0.0);
+        assert!(r.measurement.system_joules() > 0.0);
+        assert_eq!(r.finish_secs.len(), 1);
+    }
+
+    #[test]
+    fn all_instructions_are_retired_exactly() {
+        let spec = tiny_workload(3, 2, 1.0, 10_000_000);
+        let r = run(rda_core::PolicyKind::Strict, &spec);
+        // 3 procs × 2 threads × 10M instructions of work; overhead
+        // cycles are not instructions, so the counter matches exactly.
+        assert_eq!(r.measurement.counters.instructions, 60_000_000);
+    }
+
+    #[test]
+    fn strict_policy_limits_admissions() {
+        // 6 procs of 6 MB on a 15 MB LLC: at most 2 admitted at once.
+        let spec = tiny_workload(6, 1, 6.0, 20_000_000);
+        let r = run(rda_core::PolicyKind::Strict, &spec);
+        assert!(r.rda.paused >= 4, "paused {}", r.rda.paused);
+        assert_eq!(r.rda.begins, 6);
+        assert_eq!(r.rda.ends, 6);
+        assert_eq!(r.rda.resumed as i64, r.rda.paused as i64);
+    }
+
+    #[test]
+    fn default_policy_never_pauses() {
+        let spec = tiny_workload(6, 1, 6.0, 20_000_000);
+        let r = run(rda_core::PolicyKind::DefaultOnly, &spec);
+        assert_eq!(r.rda.begins, 0, "DefaultOnly bypasses tracking");
+        assert_eq!(r.measurement.counters.waitlisted, 0);
+    }
+
+    #[test]
+    fn compromise_admits_more_than_strict() {
+        let spec = tiny_workload(8, 1, 6.0, 20_000_000);
+        let strict = run(rda_core::PolicyKind::Strict, &spec);
+        let comp = run(rda_core::PolicyKind::compromise_default(), &spec);
+        assert!(
+            comp.rda.paused < strict.rda.paused,
+            "compromise {} vs strict {}",
+            comp.rda.paused,
+            strict.rda.paused
+        );
+    }
+
+    #[test]
+    fn thrashing_coschedule_is_slower_than_gated() {
+        // Raytrace-shaped: 12 procs × 4 threads × 6 MB high reuse.
+        // Default co-runs ~12 distinct processes' working sets (72 MB
+        // on a 15 MB LLC, deep thrash); strict admits 2 processes =
+        // 8 threads, trading a third of the cores for full cache
+        // residency — and wins on both time and energy.
+        let spec = tiny_workload(12, 4, 6.0, 100_000_000);
+        let default = run(rda_core::PolicyKind::DefaultOnly, &spec);
+        let strict = run(rda_core::PolicyKind::Strict, &spec);
+        assert!(
+            strict.measurement.wall_secs < default.measurement.wall_secs,
+            "strict {} vs default {}",
+            strict.measurement.wall_secs,
+            default.measurement.wall_secs
+        );
+        // And consumes less energy.
+        assert!(strict.measurement.system_joules() < default.measurement.system_joules());
+        // Because it misses less.
+        assert!(
+            strict.measurement.counters.llc_misses < default.measurement.counters.llc_misses
+        );
+    }
+
+    #[test]
+    fn multi_phase_barriers_wake_all_threads() {
+        let spec = WorkloadSpec {
+            name: "phased".into(),
+            processes: vec![ProcessProgram {
+                threads: 4,
+                phases: vec![
+                    Phase::tracked("a", 5_000_000, mb(1.0), ReuseLevel::High, rda_core::SiteId(0)),
+                    Phase::untracked("sync", 100_000, mb(0.1), ReuseLevel::Low),
+                    Phase::tracked("b", 5_000_000, mb(2.0), ReuseLevel::Medium, rda_core::SiteId(1)),
+                ],
+            }],
+        };
+        let r = run(rda_core::PolicyKind::Strict, &spec);
+        assert_eq!(r.rda.begins, 2, "two tracked phases");
+        assert_eq!(r.rda.ends, 2);
+        // 4 threads × (5M + 0.1M + 5M).
+        assert_eq!(r.measurement.counters.instructions, 4 * 10_100_000);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = tiny_workload(5, 2, 3.0, 15_000_000);
+        let a = run(rda_core::PolicyKind::Strict, &spec);
+        let b = run(rda_core::PolicyKind::Strict, &spec);
+        assert_eq!(a.measurement.wall_secs, b.measurement.wall_secs);
+        assert_eq!(a.measurement.counters, b.measurement.counters);
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_a_parallel_workload() {
+        let spec = tiny_workload(4, 1, 1.0, 20_000_000);
+        let mut small = SimConfig::paper_default(rda_core::PolicyKind::DefaultOnly);
+        small.machine = rda_machine::MachineConfig::small_test();
+        let r_small = SystemSim::new(small, &spec).run().unwrap();
+        let r_big = run(rda_core::PolicyKind::DefaultOnly, &spec);
+        assert!(r_big.measurement.wall_secs <= r_small.measurement.wall_secs * 1.05);
+    }
+
+    #[test]
+    fn timeline_sampling_observes_the_policy_ceiling() {
+        // 8 × 4 MB tracked processes under strict: the sampled admitted
+        // demand must never exceed the LLC, and the waitlist must be
+        // visibly non-empty early in the run.
+        let spec = tiny_workload(8, 1, 4.0, 30_000_000);
+        let cfg = SimConfig::paper_default(rda_core::PolicyKind::Strict).with_sampling_ms(1.0);
+        let llc = cfg.machine.llc_bytes;
+        let r = SystemSim::new(cfg, &spec).run().unwrap();
+        assert!(r.timeline.len() > 5, "samples: {}", r.timeline.len());
+        for s in &r.timeline {
+            assert!(
+                s.admitted_demand_bytes <= llc,
+                "strict ceiling violated at t={}: {} B",
+                s.t_secs,
+                s.admitted_demand_bytes
+            );
+            assert!(s.running_pressure_bytes <= s.admitted_demand_bytes);
+            assert!(s.busy_cores <= 12);
+        }
+        assert!(r.timeline.iter().any(|s| s.waitlisted > 0));
+        let util = r.mean_utilization(12);
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn timeline_empty_without_sampling() {
+        let spec = tiny_workload(2, 1, 1.0, 5_000_000);
+        let r = run(rda_core::PolicyKind::Strict, &spec);
+        assert!(r.timeline.is_empty());
+        assert!(r.mean_utilization(12).is_nan());
+    }
+
+    #[test]
+    fn finish_spread_measures_fairness() {
+        let spec = tiny_workload(6, 1, 1.0, 10_000_000);
+        let r = run(rda_core::PolicyKind::DefaultOnly, &spec);
+        let spread = r.finish_spread();
+        // Identical processes under a fair scheduler finish within a
+        // modest spread of each other.
+        assert!((1.0..2.0).contains(&spread), "spread {spread}");
+    }
+
+    #[test]
+    fn oversized_working_set_does_not_deadlock() {
+        let spec = tiny_workload(2, 1, 40.0, 10_000_000); // 40 MB > LLC
+        let r = run(rda_core::PolicyKind::Strict, &spec);
+        assert_eq!(r.rda.oversized_admits, 2);
+        assert!(r.measurement.wall_secs > 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Streaming statistics.
+//!
+//! Measurement code in the experiment harness never buffers raw samples;
+//! it feeds them into [`RunningStats`] (Welford's online algorithm) or a
+//! power-of-two [`Histogram`]. Both are exact single-pass accumulators.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean / variance / min / max accumulator (Welford).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Relative standard deviation (stddev / |mean|); 0 when mean is 0.
+    pub fn rel_stddev(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// Smallest sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel-combine).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over `u64` values with power-of-two bucket boundaries:
+/// bucket `k` counts values whose highest set bit is `k` (value 0 lands
+/// in bucket 0). Useful for latency and working-set distributions that
+/// span many orders of magnitude.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram covering the full `u64` range (65 buckets).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the top edge of
+    /// the bucket containing that rank.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k == 0 { 0 } else { (1u128 << k).saturating_sub(1).min(u64::MAX as u128) as u64 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Count in the bucket for values with highest set bit `k`.
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k]
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-10);
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(5.0);
+        let before = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before);
+    }
+
+    #[test]
+    fn histogram_buckets_by_leading_bit() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 2);
+        assert_eq!(h.bucket(11), 1);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        // 90% of samples are 1 → p50 bound well below 1000.
+        assert!(h.quantile_upper_bound(0.5) <= 1);
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket(3), 3); // 4..=7 all in bucket 3
+    }
+
+    #[test]
+    fn rel_stddev_zero_mean() {
+        let mut s = RunningStats::new();
+        s.push(-1.0);
+        s.push(1.0);
+        assert_eq!(s.rel_stddev(), 0.0);
+    }
+}

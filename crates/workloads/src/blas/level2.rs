@@ -1,0 +1,164 @@
+//! BLAS level-2 kernels: matrix-vector operations with medium reuse.
+//!
+//! The BLAS-2 workload of Table 2 (dgemv-N, dgemv-T, dtrmv, dtrsv):
+//! the vector operands are reused across matrix rows, giving the
+//! medium temporal-locality class.
+
+use super::at;
+
+/// `y ← α·A·x + β·y` with row-major `A` (`n × n`).
+pub fn dgemv_n(n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[at(n, i, j)] * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// `y ← α·Aᵀ·x + β·y` with row-major `A` (`n × n`).
+pub fn dgemv_t(n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    for yi in y.iter_mut() {
+        *yi *= beta;
+    }
+    for i in 0..n {
+        let xi = alpha * x[i];
+        for j in 0..n {
+            y[j] += a[at(n, i, j)] * xi;
+        }
+    }
+}
+
+/// `x ← U·x` with `U` the upper triangle (incl. diagonal) of row-major
+/// `a`.
+pub fn dtrmv_upper(n: usize, a: &[f64], x: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in i..n {
+            acc += a[at(n, i, j)] * x[j];
+        }
+        x[i] = acc;
+    }
+}
+
+/// Solve `U·x = b` in place (`x` enters holding `b`), `U` upper
+/// triangular with non-zero diagonal.
+pub fn dtrsv_upper(n: usize, a: &[f64], x: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= a[at(n, i, j)] * x[j];
+        }
+        let d = a[at(n, i, i)];
+        assert!(d != 0.0, "singular triangular matrix");
+        x[i] = acc / d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::fill_test_data;
+
+    fn upper(n: usize, seed: u64) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        fill_test_data(&mut a, seed);
+        for i in 0..n {
+            for j in 0..i {
+                a[at(n, i, j)] = 0.0;
+            }
+            a[at(n, i, i)] = 2.0 + a[at(n, i, i)].abs(); // well-conditioned
+        }
+        a
+    }
+
+    #[test]
+    fn dgemv_n_small_case() {
+        // A = [[1,2],[3,4]], x = [1,1] → A·x = [3,7].
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![1.0, 1.0];
+        let mut y = vec![100.0, 100.0];
+        dgemv_n(2, 1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn dgemv_beta_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = vec![2.0, 3.0];
+        let mut y = vec![10.0, 10.0];
+        dgemv_n(2, 2.0, &a, &x, 0.5, &mut y);
+        assert_eq!(y, vec![9.0, 11.0]); // 2*x + 0.5*y
+    }
+
+    #[test]
+    fn dgemv_t_equals_n_on_transpose() {
+        let n = 17;
+        let mut a = vec![0.0; n * n];
+        fill_test_data(&mut a, 1);
+        let mut x = vec![0.0; n];
+        fill_test_data(&mut x, 2);
+        // Build Aᵀ explicitly.
+        let mut at_mat = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                at_mat[at(n, j, i)] = a[at(n, i, j)];
+            }
+        }
+        let mut y1 = vec![1.0; n];
+        let mut y2 = vec![1.0; n];
+        dgemv_t(n, 1.5, &a, &x, 0.25, &mut y1);
+        dgemv_n(n, 1.5, &at_mat, &x, 0.25, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dtrmv_matches_full_gemv_on_triangular_input() {
+        let n = 13;
+        let a = upper(n, 3);
+        let mut x = vec![0.0; n];
+        fill_test_data(&mut x, 4);
+        let mut expect = vec![0.0; n];
+        dgemv_n(n, 1.0, &a, &x, 0.0, &mut expect);
+        dtrmv_upper(n, &a, &mut x);
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dtrsv_inverts_dtrmv() {
+        let n = 29;
+        let a = upper(n, 5);
+        let mut x = vec![0.0; n];
+        fill_test_data(&mut x, 6);
+        let original = x.clone();
+        dtrmv_upper(n, &a, &mut x); // x = U·x0
+        dtrsv_upper(n, &a, &mut x); // solve back
+        for (u, v) in x.iter().zip(&original) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn dtrsv_rejects_zero_diagonal() {
+        let mut a = upper(3, 7);
+        a[at(3, 1, 1)] = 0.0;
+        let mut x = vec![1.0; 3];
+        dtrsv_upper(3, &a, &mut x);
+    }
+}

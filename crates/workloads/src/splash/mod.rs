@@ -1,0 +1,25 @@
+//! Mini-app re-implementations of the five SPLASH-2 benchmarks the
+//! paper schedules (Table 2).
+//!
+//! Each app keeps the original's algorithmic skeleton and phase
+//! structure — which is what matters to a scheduler that gates on
+//! phase (progress-period) boundaries — at trace-friendly input sizes:
+//!
+//! * [`water`] — molecular dynamics: `water_nsquared` (all-pairs
+//!   forces, high reuse) and `water_spatial` (cell lists, low reuse).
+//! * [`ocean`] — red-black SOR relaxation of a square grid
+//!   (`ocean_cp`'s multigrid relax step).
+//! * [`raytrace`] — a sphere-scene ray caster (high reuse of scene
+//!   data per ray).
+//! * [`volrend`] — volume rendering by ray casting through a voxel
+//!   grid.
+//!
+//! Every app exposes `run` (plain, returns a physical checksum used by
+//! correctness tests) and `run_traced` (instrumented per §2.4, with
+//! per-phase loop ids so the profiler can map detected periods back to
+//! code structure).
+
+pub mod ocean;
+pub mod raytrace;
+pub mod volrend;
+pub mod water;

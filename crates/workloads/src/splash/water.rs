@@ -1,0 +1,440 @@
+//! Water: molecular dynamics on water-like point molecules.
+//!
+//! Two variants, as in SPLASH-2:
+//!
+//! * **n-squared** — every pair of molecules within a cutoff interacts
+//!   (`O(N²)` scans). Each molecule's state is re-read `N−1` times per
+//!   timestep: *high* temporal reuse, the paper's flagship beneficiary.
+//! * **spatial** — molecules are binned into cells and only neighbour
+//!   cells interact: each molecule is touched a constant number of
+//!   times per step, *low* reuse.
+//!
+//! The per-molecule state is 36 doubles (position/velocity/force and
+//! two predictor-corrector derivative triples for three atoms' worth of
+//! state — SPLASH water carries similar per-molecule arrays), i.e.
+//! 288 bytes: 8 000 molecules ≈ 2.3 MB of hot data, in line with the
+//! Table 2 working sets.
+//!
+//! Timestep phases (each a progress-period candidate): `predict` →
+//! `interf` (forces) → `correct`. The traced variant brackets each with
+//! a distinct loop id so the profiler can find them.
+
+#![allow(clippy::needless_range_loop)] // forces (i, j, d) loops that index several arrays at once
+
+use crate::trace::{AddressSpace, TraceRecorder, TracedBuf};
+use rda_simcore::Xoshiro256;
+
+/// Doubles of state per molecule.
+pub const DOUBLES_PER_MOL: usize = 36;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterParams {
+    /// Number of molecules.
+    pub molecules: usize,
+    /// Timesteps to integrate.
+    pub steps: usize,
+    /// Interaction cutoff radius (in box units; the box is 1³).
+    pub cutoff: f64,
+    /// RNG seed for the initial configuration.
+    pub seed: u64,
+}
+
+impl WaterParams {
+    /// A small, fast configuration for tests.
+    pub fn test_small() -> Self {
+        WaterParams {
+            molecules: 64,
+            steps: 2,
+            cutoff: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Plain (untraced) state: structure-of-arrays for positions,
+/// velocities, forces, and auxiliary derivative state.
+pub struct WaterSim {
+    n: usize,
+    cutoff2: f64,
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    force: Vec<[f64; 3]>,
+    /// Auxiliary per-molecule state (fills out the 288-byte record).
+    aux: Vec<[f64; 27]>,
+}
+
+const DT: f64 = 1e-3;
+
+impl WaterSim {
+    /// Initialise a random configuration.
+    pub fn new(p: &WaterParams) -> Self {
+        let mut rng = Xoshiro256::new(p.seed);
+        let n = p.molecules;
+        let pos = (0..n)
+            .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64()])
+            .collect();
+        let vel = (0..n)
+            .map(|_| {
+                [
+                    rng.next_gaussian(0.0, 0.05),
+                    rng.next_gaussian(0.0, 0.05),
+                    rng.next_gaussian(0.0, 0.05),
+                ]
+            })
+            .collect();
+        WaterSim {
+            n,
+            cutoff2: p.cutoff * p.cutoff,
+            pos,
+            vel,
+            force: vec![[0.0; 3]; n],
+            aux: vec![[0.0; 27]; n],
+        }
+    }
+
+    fn predict(&mut self) {
+        for i in 0..self.n {
+            for d in 0..3 {
+                self.pos[i][d] += self.vel[i][d] * DT;
+                // Periodic box.
+                self.pos[i][d] -= self.pos[i][d].floor();
+            }
+        }
+    }
+
+    /// Lennard-Jones-flavoured pair force within the cutoff. The
+    /// magnitude is capped symmetrically (same cap for both partners),
+    /// which preserves Newton's third law while keeping the integrator
+    /// stable at close approach.
+    fn pair_force(dr: &[f64; 3], r2: f64) -> [f64; 3] {
+        let inv = 1.0 / (r2 + 1e-4);
+        let inv3 = inv * inv * inv;
+        let mag = (24.0 * inv3 * (2.0 * inv3 - 1.0) * inv).clamp(-1e3, 1e3);
+        [dr[0] * mag, dr[1] * mag, dr[2] * mag]
+    }
+
+    fn min_image(a: f64, b: f64) -> f64 {
+        let mut d = a - b;
+        if d > 0.5 {
+            d -= 1.0;
+        } else if d < -0.5 {
+            d += 1.0;
+        }
+        d
+    }
+
+    fn interf_nsquared(&mut self) {
+        for f in self.force.iter_mut() {
+            *f = [0.0; 3];
+        }
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let dr = [
+                    Self::min_image(self.pos[i][0], self.pos[j][0]),
+                    Self::min_image(self.pos[i][1], self.pos[j][1]),
+                    Self::min_image(self.pos[i][2], self.pos[j][2]),
+                ];
+                let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+                if r2 < self.cutoff2 {
+                    let f = Self::pair_force(&dr, r2);
+                    for d in 0..3 {
+                        self.force[i][d] += f[d];
+                        self.force[j][d] -= f[d];
+                    }
+                }
+            }
+        }
+    }
+
+    fn correct(&mut self) {
+        for i in 0..self.n {
+            for d in 0..3 {
+                self.vel[i][d] += self.force[i][d] * DT;
+                // Keep the system tame for long runs.
+                self.vel[i][d] = self.vel[i][d].clamp(-1.0, 1.0);
+                self.aux[i][d % 27] += self.force[i][d].abs() * 1e-6;
+            }
+        }
+    }
+
+    /// Run n-squared dynamics for `steps`; returns total kinetic energy
+    /// (a stable checksum).
+    pub fn run_nsquared(&mut self, steps: usize) -> f64 {
+        for _ in 0..steps {
+            self.predict();
+            self.interf_nsquared();
+            self.correct();
+        }
+        self.kinetic_energy()
+    }
+
+    /// Run spatial (cell-list) dynamics for `steps`.
+    pub fn run_spatial(&mut self, steps: usize, cells_per_dim: usize) -> f64 {
+        assert!(cells_per_dim >= 1);
+        for _ in 0..steps {
+            self.predict();
+            self.interf_spatial(cells_per_dim);
+            self.correct();
+        }
+        self.kinetic_energy()
+    }
+
+    fn interf_spatial(&mut self, m: usize) {
+        for f in self.force.iter_mut() {
+            *f = [0.0; 3];
+        }
+        // Bin molecules into an m³ grid.
+        let cell_of = |p: &[f64; 3]| {
+            let c = |x: f64| (((x * m as f64) as usize).min(m - 1)) as i64;
+            (c(p[0]), c(p[1]), c(p[2]))
+        };
+        let mut cells: std::collections::HashMap<(i64, i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..self.n {
+            cells.entry(cell_of(&self.pos[i])).or_default().push(i);
+        }
+        let wrap = |x: i64| ((x % m as i64) + m as i64) % m as i64;
+        for (&(cx, cy, cz), members) in &cells {
+            for dz in -1..=1 {
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let key = (wrap(cx + dx), wrap(cy + dy), wrap(cz + dz));
+                        let Some(neigh) = cells.get(&key) else { continue };
+                        for &i in members {
+                            for &j in neigh {
+                                if j <= i {
+                                    continue;
+                                }
+                                let dr = [
+                                    Self::min_image(self.pos[i][0], self.pos[j][0]),
+                                    Self::min_image(self.pos[i][1], self.pos[j][1]),
+                                    Self::min_image(self.pos[i][2], self.pos[j][2]),
+                                ];
+                                let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+                                if r2 < self.cutoff2 {
+                                    let f = Self::pair_force(&dr, r2);
+                                    for d in 0..3 {
+                                        self.force[i][d] += f[d];
+                                        self.force[j][d] -= f[d];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total kinetic energy `Σ ½|v|²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vel
+            .iter()
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Number of molecules.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Loop ids emitted by the traced run (profiler anchors).
+pub mod loops {
+    /// Predict phase loop.
+    pub const PREDICT: u32 = 10;
+    /// Pairwise force phase outer loop.
+    pub const INTERF: u32 = 11;
+    /// Correct phase loop.
+    pub const CORRECT: u32 = 12;
+}
+
+/// Traced n-squared water: one timestep over `molecules` molecules on
+/// instrumented buffers (positions + velocities + forces + aux live in
+/// one 36-doubles-per-molecule buffer). Returns a checksum.
+///
+/// The trace contains the three phase loops with distinct ids, so the
+/// profiler's window detector plus loop mapper can recover the phase
+/// structure (§2.4, Figure 12).
+pub fn run_nsquared_traced(molecules: usize, cutoff: f64, rec: &TraceRecorder) -> f64 {
+    let mut space = AddressSpace::new();
+    let mut state = space.alloc(molecules * DOUBLES_PER_MOL, rec);
+    // Layout per molecule: [0..3) pos, [3..6) vel, [6..9) force,
+    // [9..36) aux.
+    let mut rng = Xoshiro256::new(7);
+    for i in 0..molecules {
+        let b = i * DOUBLES_PER_MOL;
+        for d in 0..3 {
+            state.init(b + d, rng.next_f64());
+            state.init(b + 3 + d, rng.next_gaussian(0.0, 0.05));
+        }
+    }
+    let cutoff2 = cutoff * cutoff;
+
+    // predict
+    for i in 0..molecules {
+        let b = i * DOUBLES_PER_MOL;
+        for d in 0..3 {
+            let p = state.get(b + d) + state.get(b + 3 + d) * DT;
+            state.set(b + d, p - p.floor());
+        }
+        rec.loop_branch(loops::PREDICT);
+    }
+    // interf (n²)
+    for i in 0..molecules {
+        let bi = i * DOUBLES_PER_MOL;
+        let pi = [state.get(bi), state.get(bi + 1), state.get(bi + 2)];
+        for j in (i + 1)..molecules {
+            let bj = j * DOUBLES_PER_MOL;
+            let pj = [state.get(bj), state.get(bj + 1), state.get(bj + 2)];
+            let dr = [
+                WaterSim::min_image(pi[0], pj[0]),
+                WaterSim::min_image(pi[1], pj[1]),
+                WaterSim::min_image(pi[2], pj[2]),
+            ];
+            let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+            if r2 < cutoff2 {
+                let f = WaterSim::pair_force(&dr, r2);
+                for d in 0..3 {
+                    let fi = state.get(bi + 6 + d) + f[d];
+                    state.set(bi + 6 + d, fi);
+                    let fj = state.get(bj + 6 + d) - f[d];
+                    state.set(bj + 6 + d, fj);
+                }
+            }
+        }
+        rec.loop_branch(loops::INTERF);
+    }
+    // correct
+    let mut checksum = 0.0;
+    for i in 0..molecules {
+        let b = i * DOUBLES_PER_MOL;
+        for d in 0..3 {
+            let v = (state.get(b + 3 + d) + state.get(b + 6 + d) * DT).clamp(-1.0, 1.0);
+            state.set(b + 3 + d, v);
+            checksum += 0.5 * v * v;
+        }
+        rec.loop_branch(loops::CORRECT);
+    }
+    let _ = TracedBuf::len(&state);
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forces_balance_by_newtons_third_law() {
+        let mut sim = WaterSim::new(&WaterParams {
+            molecules: 50,
+            steps: 0,
+            cutoff: 0.6,
+            seed: 1,
+        });
+        sim.interf_nsquared();
+        let f: [f64; 3] = sim.force.iter().fold([0.0; 3], |mut acc, v| {
+            for d in 0..3 {
+                acc[d] += v[d];
+            }
+            acc
+        });
+        let scale: f64 = sim
+            .force
+            .iter()
+            .map(|v| v[0].abs() + v[1].abs() + v[2].abs())
+            .sum::<f64>()
+            .max(1.0);
+        for d in 0..3 {
+            assert!(
+                f[d].abs() / scale < 1e-12,
+                "net force component {d} = {} (scale {scale})",
+                f[d]
+            );
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_the_periodic_box() {
+        let mut sim = WaterSim::new(&WaterParams::test_small());
+        sim.run_nsquared(3);
+        for p in &sim.pos {
+            for d in 0..3 {
+                assert!((0.0..1.0).contains(&p[d]));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = WaterParams::test_small();
+        let a = WaterSim::new(&p).run_nsquared(2);
+        let b = WaterSim::new(&p).run_nsquared(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spatial_approximates_nsquared_with_fine_cells() {
+        // With cutoff <= 1/m, neighbour cells cover all interactions, so
+        // spatial and n² give identical physics.
+        let p = WaterParams {
+            molecules: 80,
+            steps: 2,
+            cutoff: 0.24,
+            seed: 3,
+        };
+        let e_n2 = WaterSim::new(&p).run_nsquared(p.steps);
+        let e_sp = WaterSim::new(&p).run_spatial(p.steps, 4);
+        assert!(
+            (e_n2 - e_sp).abs() < 1e-9,
+            "cell list diverged: {e_n2} vs {e_sp}"
+        );
+    }
+
+    #[test]
+    fn traced_run_emits_phase_loops_and_quadratic_interf() {
+        let rec = TraceRecorder::new();
+        let n = 24;
+        run_nsquared_traced(n, 0.5, &rec);
+        let t = rec.take();
+        use crate::trace::TraceRecord;
+        let count = |id: u32| {
+            t.records()
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::LoopBranch(x) if *x == id))
+                .count()
+        };
+        assert_eq!(count(loops::PREDICT), n);
+        assert_eq!(count(loops::INTERF), n);
+        assert_eq!(count(loops::CORRECT), n);
+        // The interf phase reads at least 3 position loads per pair.
+        assert!(t.memory_ops() > 3 * n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn traced_footprint_scales_with_molecules() {
+        // Distinct addresses touched should grow ~linearly in N — the
+        // property Figure 12's WSS curves rest on.
+        let distinct = |n: usize| {
+            let rec = TraceRecorder::new();
+            run_nsquared_traced(n, 0.5, &rec);
+            let t = rec.take();
+            let set: std::collections::HashSet<u64> = t
+                .records()
+                .iter()
+                .filter_map(|r| r.address().map(|a| a / 64))
+                .collect();
+            set.len()
+        };
+        let d32 = distinct(32);
+        let d64 = distinct(64);
+        assert!(d64 > d32 + d32 / 2, "footprint didn't grow: {d32} → {d64}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Timeline visualisation: watch the scheduler work.
+//!
+//! Runs Water_nsq under the default and the strict policy with periodic
+//! sampling and plots core utilisation and LLC pressure over time as
+//! ASCII sparklines — making Figure 1's story visible: the default
+//! policy keeps all cores busy on a thrashing cache; RDA trades a few
+//! busy cores for a cache that fits.
+//!
+//! ```bash
+//! cargo run --release -p rda-examples --bin timeline_viz
+//! ```
+
+use rda_core::PolicyKind;
+use rda_sim::{SimConfig, SystemSim};
+use rda_workloads::spec;
+
+const BARS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(values: &[f64], max: f64, width: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    // Downsample to `width` buckets by averaging.
+    let mut out = String::with_capacity(width);
+    for b in 0..width {
+        let lo = b * values.len() / width;
+        let hi = ((b + 1) * values.len() / width).max(lo + 1);
+        let mean = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let idx = ((mean / max) * (BARS.len() - 1) as f64).round() as usize;
+        out.push(BARS[idx.min(BARS.len() - 1)]);
+    }
+    out
+}
+
+fn main() {
+    let spec = spec::water_nsq();
+    let llc = rda_machine::MachineConfig::xeon_e5_2420().llc_bytes as f64;
+    println!("Water_nsq (12 procs × 2 threads, 3.6 MB high-reuse periods)\n");
+    for policy in [PolicyKind::DefaultOnly, PolicyKind::Strict] {
+        let cfg = SimConfig::paper_default(policy).with_sampling_ms(5.0);
+        let r = SystemSim::new(cfg, &spec).run().expect("run");
+        let busy: Vec<f64> = r.timeline.iter().map(|s| s.busy_cores as f64).collect();
+        let pressure: Vec<f64> = r
+            .timeline
+            .iter()
+            .map(|s| s.running_pressure_bytes as f64)
+            .collect();
+        let wait: Vec<f64> = r.timeline.iter().map(|s| s.waitlisted as f64).collect();
+        let width = 72;
+        println!("{policy}  ({:.2} s, {:.0} J, {:.2} GFLOPS)",
+            r.measurement.wall_secs,
+            r.measurement.system_joules(),
+            r.measurement.gflops());
+        println!("  busy cores (0–12)   {}", sparkline(&busy, 12.0, width));
+        println!("  LLC pressure (×cap) {}", sparkline(&pressure, 2.0 * llc, width));
+        println!("  waitlist depth      {}", sparkline(&wait, 12.0, width));
+        let over = pressure.iter().filter(|&&p| p > llc).count();
+        println!(
+            "  samples over LLC capacity: {}/{}  |  mean utilization {:.0} %\n",
+            over,
+            pressure.len(),
+            r.mean_utilization(12) * 100.0
+        );
+    }
+    println!("(the default policy runs more cores on an oversubscribed cache;");
+    println!(" strict keeps the running working sets inside the LLC at the cost");
+    println!(" of a shorter runqueue — and finishes sooner anyway)");
+}

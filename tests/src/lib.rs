@@ -1,0 +1,5 @@
+//! Host crate for the integration tests in `tests/tests/`.
+//!
+//! The tests span the full stack: instrumented workloads → profiler →
+//! progress-period annotations → RDA extension → CFS substrate →
+//! machine model → measurements.
