@@ -1,0 +1,212 @@
+//! Offline drop-in replacement for the subset of the Criterion API this
+//! workspace's benches use.
+//!
+//! The real criterion crate is unavailable in this offline build
+//! environment, so the workspace vendors a minimal harness with the
+//! same call surface: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `sample_size`, and [`Bencher::iter`]. Each benchmark is timed as
+//! `sample_size` samples of an adaptively-sized iteration batch and the
+//! median per-iteration time is printed — no plots, no statistics
+//! files, just numbers on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall-clock spent measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not supported.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        let name = name.as_ref();
+        run_one(name, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        let name = name.as_ref();
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibrate: grow the batch until one batch costs ~1/samples of the
+    // measurement budget, so total wall-clock stays bounded.
+    let mut iters: u64 = 1;
+    let per_sample = TARGET_MEASURE / samples as u32;
+    loop {
+        let t = time_batch(iters, f);
+        if t >= per_sample || t >= TARGET_MEASURE || iters >= 1 << 20 {
+            break;
+        }
+        iters = if t.is_zero() {
+            iters * 16
+        } else {
+            let scale = per_sample.as_secs_f64() / t.as_secs_f64();
+            (iters as f64 * scale.clamp(1.1, 16.0)).ceil() as u64
+        };
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| time_batch(iters, f).as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} iters × {} samples)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+        iters,
+        samples
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0, "routine never ran");
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| ())
+        });
+        g.finish();
+        // Calibration runs plus exactly 3 samples.
+        assert!(runs >= 4, "expected calibration + 3 samples, got {runs}");
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

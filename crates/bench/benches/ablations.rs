@@ -64,7 +64,7 @@ fn predicate_throughput(c: &mut Criterion) {
     monitor.increment_load(rda_core::Resource::Llc, mb(9.0));
     let demand = PpDemand::llc(mb(3.0), ReuseLevel::High);
     for policy in [PolicyKind::Strict, PolicyKind::compromise_default()] {
-        c.bench_function(&format!("ablation/predicate/{policy}"), |b| {
+        c.bench_function(format!("ablation/predicate/{policy}"), |b| {
             b.iter(|| black_box(try_schedule(&demand, &monitor, &policy)))
         });
     }

@@ -1,7 +1,7 @@
 //! Run every experiment and write a JSON results bundle.
 use rda_bench::fig12::{ocean_series, render_series, water_series};
 use rda_bench::summary::headline;
-use rda_bench::headline_runs;
+use rda_bench::{headline_runs_with, sweep_args_from_env};
 use rda_machine::MachineConfig;
 use rda_sim::concurrency::{figure13, interference_study};
 use rda_sim::overhead::{figure11, granularity_study, N};
@@ -11,7 +11,8 @@ fn main() {
     println!("=== Table 1 ===\n{}", MachineConfig::xeon_e5_2420().to_table());
     println!("=== Table 2 ===\n{}", spec::table2());
 
-    let r = headline_runs();
+    let r = headline_runs_with(&sweep_args_from_env());
+    println!("sweep digest: {:#018x}", r.digest);
     for fig in &r.figures {
         println!("{}", fig.to_text_table());
     }
@@ -32,15 +33,30 @@ fn main() {
     println!("{}", figure13(&f13).to_text_table());
 
     // Machine-readable bundle.
-    let bundle = serde_json::json!({
-        "figures": {
-            "fig7": r.fig7(), "fig8": r.fig8(), "fig9": r.fig9(), "fig10": r.fig10(),
-            "fig11": figure11(&f11), "fig13": figure13(&f13),
-            "fig12": { "water": water, "ocean": ocean },
-        },
-        "headline": h,
-    });
+    use rda_bench::fig12::wss_series_json;
+    use rda_metrics::Json;
+    let bundle = Json::obj([
+        (
+            "figures",
+            Json::obj([
+                ("fig7", r.fig7().to_json()),
+                ("fig8", r.fig8().to_json()),
+                ("fig9", r.fig9().to_json()),
+                ("fig10", r.fig10().to_json()),
+                ("fig11", figure11(&f11).to_json()),
+                ("fig13", figure13(&f13).to_json()),
+                (
+                    "fig12",
+                    Json::obj([
+                        ("water", Json::Arr(water.iter().map(wss_series_json).collect())),
+                        ("ocean", Json::Arr(ocean.iter().map(wss_series_json).collect())),
+                    ]),
+                ),
+            ]),
+        ),
+        ("headline", h.to_json()),
+    ]);
     let path = "results.json";
-    std::fs::write(path, serde_json::to_string_pretty(&bundle).unwrap()).unwrap();
+    std::fs::write(path, bundle.to_string_pretty()).unwrap();
     println!("wrote {path}");
 }

@@ -1,0 +1,122 @@
+//! Command-line options shared by every `exp_*` binary.
+//!
+//! All sweep binaries accept the same three flags:
+//!
+//! * `--threads N` — worker threads (`0` = all cores, the default);
+//! * `--root-seed S` — root seed of every run's derived RNG stream
+//!   (decimal or `0x`-prefixed hex);
+//! * `--shard I/M` — run only cells whose global index ≡ I (mod M),
+//!   for splitting a sweep across processes or machines.
+//!
+//! Because every cell's stream depends only on `(root seed, grid
+//! index)`, any combination of `--threads` and `--shard` produces
+//! bit-identical per-cell results.
+
+use rda_sim::runner::{RunnerOptions, Shard};
+
+/// Usage text shared by the binaries.
+pub const SWEEP_USAGE: &str = "options:
+  --threads N      worker threads (0 = all cores; default 0)
+  --root-seed S    root seed, decimal or 0x-hex (default: built-in)
+  --shard I/M      run only cells with index ≡ I (mod M)
+  --help           print this help";
+
+/// Parse sweep flags from an argument iterator (binary name already
+/// stripped). Returns `Err` with a message on bad input; `--help` is
+/// reported as `Err("help")` for the caller to print usage and exit 0.
+pub fn parse_sweep_args<I>(args: I) -> Result<RunnerOptions, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut opts = RunnerOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value\n{SWEEP_USAGE}"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value '{v}'"))?;
+            }
+            "--root-seed" => {
+                let v = value("--root-seed")?;
+                opts.root_seed = parse_seed(&v)?;
+            }
+            "--shard" => {
+                let v = value("--shard")?;
+                opts.shard = Some(Shard::parse(&v)?);
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option '{other}'\n{SWEEP_USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse sweep flags from the process environment, printing usage and
+/// exiting on `--help` or errors.
+pub fn sweep_args_from_env() -> RunnerOptions {
+    match parse_sweep_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) if msg == "help" => {
+            println!("{SWEEP_USAGE}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad --root-seed value '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_sim::runner::DEFAULT_ROOT_SEED;
+
+    fn parse(args: &[&str]) -> Result<RunnerOptions, String> {
+        parse_sweep_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.root_seed, DEFAULT_ROOT_SEED);
+        assert!(o.shard.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = parse(&["--threads", "8", "--root-seed", "0xDEAD", "--shard", "1/4"]).unwrap();
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.root_seed, 0xDEAD);
+        assert_eq!(o.shard, Some(Shard { index: 1, count: 4 }));
+    }
+
+    #[test]
+    fn decimal_seed_parses() {
+        assert_eq!(parse(&["--root-seed", "42"]).unwrap().root_seed, 42);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--shard", "4/4"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+}

@@ -44,6 +44,37 @@ pub fn ocean_series() -> Vec<WssSeries> {
     })
 }
 
+/// Encode one WSS series as JSON for the results bundle.
+pub fn wss_series_json(s: &WssSeries) -> rda_metrics::Json {
+    use rda_metrics::Json;
+    let opt_num = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    Json::obj([
+        ("label", Json::Str(s.label.clone())),
+        (
+            "measured",
+            Json::Arr(
+                s.measured
+                    .iter()
+                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "fit",
+            match &s.fit {
+                Some(fit) => Json::obj([
+                    ("intercept", Json::Num(fit.intercept)),
+                    ("slope", Json::Num(fit.slope)),
+                    ("r_squared", Json::Num(fit.r_squared)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        ("predicted_last", opt_num(s.predicted_last)),
+        ("accuracy", opt_num(s.accuracy)),
+    ])
+}
+
 /// Render one series as a report block.
 pub fn render_series(s: &WssSeries) -> String {
     let mut out = format!("{}\n", s.label);

@@ -1,39 +1,53 @@
 //! Shared driver for the Figures 7–10 experiments.
 //!
 //! All four headline figures come from the same 8 workloads × 3
-//! policies sweep; this module runs the sweep once (process-parallel
-//! across workloads via crossbeam scoped threads — each simulation is
-//! single-threaded and deterministic) and hands each `exp_fig*` binary
-//! its slice.
+//! policies sweep; this module runs the grid through the parallel
+//! sweep runner (`rda_sim::runner`) once and hands each `exp_fig*`
+//! binary its slice. Results are a pure function of the root seed —
+//! thread count, shard layout, and completion order cannot change
+//! them.
 
 use rda_metrics::FigureData;
-use rda_sim::experiment::{headline_figures, run_workload, PolicyRun};
+use rda_sim::experiment::{headline_figures, paper_policies, PolicyRun};
+use rda_sim::runner::{run_sweep, RunnerOptions, SweepGrid, SweepResult};
 use rda_workloads::spec::all_workloads;
 
 /// The completed sweep.
 pub struct HeadlineResults {
-    /// Every (workload × policy) observation.
+    /// Every (workload × policy) observation, in grid order.
     pub runs: Vec<PolicyRun>,
     /// Figures 7, 8, 9, 10 in order.
     pub figures: [FigureData; 4],
+    /// Digest of the underlying sweep (for determinism checks).
+    pub digest: u64,
 }
 
-/// Run the full sweep (8 workloads × 3 policies). Workloads run in
-/// parallel on host threads; results are ordered deterministically.
-pub fn headline_runs() -> HeadlineResults {
-    let specs = all_workloads();
-    let mut slots: Vec<Option<Vec<PolicyRun>>> = (0..specs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (spec, slot) in specs.iter().zip(slots.iter_mut()) {
-            scope.spawn(move |_| {
-                *slot = Some(run_workload(spec));
-            });
-        }
-    })
-    .expect("experiment thread panicked");
-    let runs: Vec<PolicyRun> = slots.into_iter().flat_map(|s| s.unwrap()).collect();
+/// The headline configuration grid: 8 workloads × 3 policies, one
+/// replicate per cell.
+pub fn headline_grid() -> SweepGrid {
+    SweepGrid::cross(&all_workloads(), &paper_policies(), 1)
+}
+
+/// Run the full sweep with explicit runner options.
+pub fn headline_runs_with(opts: &RunnerOptions) -> HeadlineResults {
+    let sweep: SweepResult = run_sweep(&headline_grid(), opts);
+    if let Some(err) = sweep.errors.first() {
+        panic!("headline sweep failed: {err}");
+    }
+    let digest = sweep.digest();
+    let runs = sweep.policy_runs();
     let figures = headline_figures(&runs);
-    HeadlineResults { runs, figures }
+    HeadlineResults {
+        runs,
+        figures,
+        digest,
+    }
+}
+
+/// Run the full sweep with default options (all cores, default root
+/// seed, no shard).
+pub fn headline_runs() -> HeadlineResults {
+    headline_runs_with(&RunnerOptions::default())
 }
 
 impl HeadlineResults {

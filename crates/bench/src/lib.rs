@@ -19,8 +19,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod fig12;
 pub mod headline;
 pub mod summary;
 
-pub use headline::{headline_runs, HeadlineResults};
+pub use cli::sweep_args_from_env;
+pub use headline::{headline_runs, headline_runs_with, HeadlineResults};

@@ -9,10 +9,9 @@
 //! workload class).
 
 use crate::headline::HeadlineResults;
-use serde::{Deserialize, Serialize};
 
 /// The abstract's four headline numbers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Headline {
     /// Maximum relative decrease in system energy (0.48 = 48 %).
     pub max_energy_decrease: f64,
@@ -54,6 +53,19 @@ pub fn headline(results: &HeadlineResults) -> Headline {
             / energy_decreases.len() as f64,
         max_speedup: speedups.iter().cloned().fold(f64::MIN, f64::max),
         avg_speedup: rda_metrics::geomean(&speedups).unwrap_or(0.0),
+    }
+}
+
+impl Headline {
+    /// Encode as JSON for the results bundle.
+    pub fn to_json(&self) -> rda_metrics::Json {
+        use rda_metrics::Json;
+        Json::obj([
+            ("max_energy_decrease", Json::Num(self.max_energy_decrease)),
+            ("avg_energy_decrease", Json::Num(self.avg_energy_decrease)),
+            ("max_speedup", Json::Num(self.max_speedup)),
+            ("avg_speedup", Json::Num(self.avg_speedup)),
+        ])
     }
 }
 

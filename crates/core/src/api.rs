@@ -8,14 +8,13 @@
 //! profiler assigns these, and the decision fast path memoises per site.
 
 use rda_machine::ReuseLevel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hardware resources the scheduler can track. The paper's prototype
 /// targets the shared last-level cache; the design is "configurable to
 /// allow multiple hardware resources to be targeted", so memory
 /// bandwidth is included as the natural second resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Resource {
     /// The shared last-level cache; demands are working-set bytes.
     Llc,
@@ -39,7 +38,7 @@ impl fmt::Display for Resource {
 
 /// Unique identifier of one *dynamic* progress-period instance — the
 /// value `pp_begin` returns and `pp_end` takes (Figure 4, line 6/8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PpId(pub u64);
 
 impl fmt::Display for PpId {
@@ -52,7 +51,7 @@ impl fmt::Display for PpId {
 /// in the application that the entry/exit instructions bracket.
 /// Repeated executions of the same site produce distinct [`PpId`]s but
 /// share a `SiteId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u32);
 
 impl fmt::Display for SiteId {
@@ -63,7 +62,7 @@ impl fmt::Display for SiteId {
 
 /// The demand triple passed to `pp_begin` (§2.2): targeted resource,
 /// working-set size, and relative data-reuse level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PpDemand {
     /// Which hardware resource the period stresses.
     pub resource: Resource,

@@ -2,10 +2,9 @@
 
 use crate::policy::PolicyKind;
 use rda_machine::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the scheduling extension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RdaConfig {
     /// The active scheduling policy (§3.3).
     pub policy: PolicyKind,

@@ -28,10 +28,9 @@ use crate::registry::PpRegistry;
 use crate::waitlist::{WaitEntry, Waitlist};
 use rda_sched::ProcessId;
 use rda_simcore::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Activity counters of the extension.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RdaStats {
     /// `pp_begin` calls processed.
     pub begins: u64,

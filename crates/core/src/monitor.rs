@@ -8,10 +8,9 @@
 //! answers the free-space queries the predicate needs.
 
 use crate::api::Resource;
-use serde::{Deserialize, Serialize};
 
 /// One row of the load table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LoadEntry {
     capacity: u64,
     usage: u64,
@@ -21,7 +20,7 @@ struct LoadEntry {
 }
 
 /// Real-time estimation of hardware resource usage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceMonitor {
     llc: LoadEntry,
     membw: LoadEntry,

@@ -16,11 +16,10 @@
 //!   quota are admitted but clamped, modelling a cache partition that
 //!   bounds the damage an oversized period can do.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The available policies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// Pass everything straight to the default scheduler (baseline).
     DefaultOnly,

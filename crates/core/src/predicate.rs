@@ -19,10 +19,9 @@
 use crate::api::PpDemand;
 use crate::monitor::ResourceMonitor;
 use crate::policy::PolicyKind;
-use serde::{Deserialize, Serialize};
 
 /// Verdict of the predicate for one progress period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// Admit: account the demand and let the OS schedule the process.
     Run,

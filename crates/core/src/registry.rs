@@ -9,11 +9,10 @@
 use crate::api::{PpDemand, PpId, SiteId};
 use rda_sched::ProcessId;
 use rda_simcore::SimTime;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A live progress period.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpRecord {
     /// The dynamic instance id.
     pub id: PpId,
@@ -36,7 +35,10 @@ pub struct PpRecord {
 #[derive(Debug, Clone, Default)]
 pub struct PpRegistry {
     next_id: u64,
-    active: HashMap<PpId, PpRecord>,
+    // BTreeMap, not HashMap: `iter()` feeds waitlist re-admission and
+    // process cancellation, whose order must be deterministic for the
+    // parallel sweep runner's bit-identical-digest guarantee.
+    active: BTreeMap<PpId, PpRecord>,
 }
 
 impl PpRegistry {
@@ -98,7 +100,7 @@ impl PpRegistry {
         self.active.is_empty()
     }
 
-    /// Iterate over live periods in unspecified order.
+    /// Iterate over live periods in id (creation) order.
     pub fn iter(&self) -> impl Iterator<Item = &PpRecord> {
         self.active.values()
     }

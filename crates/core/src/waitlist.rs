@@ -8,11 +8,10 @@
 //! order deterministic.
 
 use crate::api::{PpId, Resource};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One waitlisted period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitEntry {
     /// The denied period.
     pub pp: PpId,
@@ -145,5 +144,55 @@ mod tests {
         assert!(!w.is_empty());
         w.pop(Resource::MemBandwidth);
         assert!(w.is_empty());
+    }
+
+    /// Starvation freedom: a period whose demand alone exceeds LLC
+    /// capacity can never pass the predicate, so FIFO waiting would
+    /// park it forever. The oversized-demand guard must admit it even
+    /// while the cache is fully subscribed — and the system must still
+    /// drain back to idle afterwards.
+    #[test]
+    fn oversized_demand_is_never_starved() {
+        use crate::api::{mb, PpDemand};
+        use crate::config::RdaConfig;
+        use crate::extension::{BeginOutcome, RdaExtension};
+        use crate::policy::PolicyKind;
+        use rda_machine::{MachineConfig, ReuseLevel};
+        use rda_sched::ProcessId;
+        use rda_simcore::SimTime;
+
+        let cfg = RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), PolicyKind::Strict);
+        let capacity = cfg.llc_capacity;
+        let mut ext = RdaExtension::new(cfg);
+        let t = SimTime::from_cycles;
+
+        // Saturate the LLC with three periods.
+        let mut small = Vec::new();
+        for p in 0..3 {
+            let d = PpDemand::llc(capacity / 3, ReuseLevel::High);
+            match ext.pp_begin(ProcessId(p), crate::api::SiteId(0), d, t(p as u64)) {
+                BeginOutcome::Run { pp, .. } => small.push(pp),
+                other => panic!("filler must run, got {other:?}"),
+            }
+        }
+        // A demand bigger than the whole cache arrives while it is
+        // full. Waitlisting it could never end (it will not fit even on
+        // an idle cache), so it must be admitted immediately.
+        let huge = PpDemand::llc(capacity + mb(5.0), ReuseLevel::High);
+        let huge_pp = match ext.pp_begin(ProcessId(9), crate::api::SiteId(1), huge, t(10)) {
+            BeginOutcome::Run { pp, .. } => pp,
+            other => panic!("oversized demand starved: {other:?}"),
+        };
+        assert_eq!(ext.stats().oversized_admits, 1);
+        ext.check_invariants().unwrap();
+
+        // Everything still drains to idle.
+        ext.pp_end(huge_pp, t(20));
+        for pp in small {
+            ext.pp_end(pp, t(30));
+        }
+        assert_eq!(ext.usage(Resource::Llc), 0);
+        assert_eq!(ext.waitlist_len(Resource::Llc), 0);
+        ext.check_invariants().unwrap();
     }
 }

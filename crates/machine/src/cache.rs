@@ -12,7 +12,6 @@
 //! E5-2420's L3 is inclusive).
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Miss/hit outcome of a single access at one level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +31,7 @@ pub struct SetAssocCache {
 }
 
 /// Access statistics for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses presented to this level.
     pub accesses: u64,
@@ -120,7 +119,7 @@ impl SetAssocCache {
 }
 
 /// Per-level statistics of a hierarchy replay.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 data cache statistics.
     pub l1: CacheStats,

@@ -1,6 +1,5 @@
 //! Machine configuration (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
 
 /// One kibibyte.
 pub const KIB: u64 = 1024;
@@ -17,7 +16,7 @@ pub const GIB: u64 = 1024 * 1024 * 1024;
 /// bandwidth and associativity values are not in the paper; they are
 /// taken from Intel documentation for Sandy-Bridge-EN class parts and
 /// recorded here so experiments are reproducible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of physical cores (the paper disables nothing; 12).
     pub cores: usize,

@@ -17,10 +17,9 @@
 
 use crate::config::MachineConfig;
 use rda_metrics::{EnergyBreakdown, PerfCounters};
-use serde::{Deserialize, Serialize};
 
 /// Energy model coefficients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Package power with all cores idle (uncore, fabric, leakage), W.
     pub pkg_idle_watts: f64,

@@ -24,10 +24,9 @@
 
 use crate::config::MachineConfig;
 use crate::profile::{AccessProfile, ReuseLevel};
-use serde::{Deserialize, Serialize};
 
 /// Tunable coefficients of the analytical model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfParams {
     /// L1 hit rate per reuse level (spatial locality keeps even
     /// streaming code mostly L1-resident on 64-byte lines).
@@ -79,7 +78,7 @@ fn idx(reuse: ReuseLevel) -> usize {
 }
 
 /// Derived per-instruction rates for one region under a given LLC share.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentRates {
     /// Cycles per instruction (before bandwidth scaling).
     pub cpi: f64,

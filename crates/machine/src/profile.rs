@@ -7,12 +7,11 @@
 //! categorisation (low / medium / high), and [`AccessProfile`] extends it
 //! with the instruction-mix parameters the performance model needs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The paper's three-level data-reuse categorisation (`REUSE_LOW`,
 /// `REUSE_MED`, `REUSE_HIGH` in the Figure 4 API).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ReuseLevel {
     /// Streaming access, minimal temporal locality (BLAS-1 class).
     Low,
@@ -54,7 +53,7 @@ impl fmt::Display for ReuseLevel {
 
 /// A compact description of a code region's execution behaviour, as the
 /// performance model consumes it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessProfile {
     /// Working-set size in bytes (the paper's `MB(6.3)`-style argument).
     pub ws_bytes: u64,

@@ -5,11 +5,10 @@
 //! equivalent: every component of the machine model increments these
 //! counters, and the experiment harness reads them out per run.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// A block of hardware event counts for one measurement interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Retired instructions.
     pub instructions: u64,

@@ -7,11 +7,10 @@
 //! advances and events (instructions, cache accesses, DRAM transfers)
 //! occur.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Cumulative energy split across RAPL-like domains, in Joules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Package domain: core static + dynamic energy and cache energy.
     pub pkg_joules: f64,

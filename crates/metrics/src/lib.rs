@@ -22,6 +22,7 @@
 
 pub mod counters;
 pub mod energy;
+pub mod json;
 pub mod regress;
 pub mod series;
 pub mod summary;
@@ -29,6 +30,7 @@ pub mod table;
 
 pub use counters::PerfCounters;
 pub use energy::EnergyBreakdown;
+pub use json::Json;
 pub use series::{DataSeries, FigureData};
 pub use summary::Measurement;
 pub use table::TextTable;

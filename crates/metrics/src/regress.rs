@@ -7,10 +7,9 @@
 //! exactly that; [`linear_fit`] is the underlying least-squares solver,
 //! also exposed for the harness's sanity checks.
 
-use serde::{Deserialize, Serialize};
 
 /// A fitted model `y = intercept + slope * f(x)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fit {
     /// Constant term `a`.
     pub intercept: f64,

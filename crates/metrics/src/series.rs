@@ -6,11 +6,10 @@
 //! renders to an aligned text table or CSV so the experiment binaries can
 //! regenerate the paper's plots as data.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A single named series: ordered (category → value) pairs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DataSeries {
     /// Series label, e.g. `"RDA: Strict"`.
     pub name: String,
@@ -42,7 +41,7 @@ impl DataSeries {
 }
 
 /// The full data set of one figure: several series over shared categories.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FigureData {
     /// Figure identifier, e.g. `"Figure 7"`.
     pub id: String,
@@ -143,6 +142,76 @@ impl FigureData {
             out.push('\n');
         }
         out
+    }
+
+    /// Encode as a [`Json`](crate::Json) tree:
+    /// `{"id","title","unit","series":[{"name","points":[[cat,val],…]},…]}`.
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("unit", Json::Str(self.unit.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::Str(s.name.clone())),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|(c, v)| {
+                                                Json::Arr(vec![
+                                                    Json::Str(c.clone()),
+                                                    Json::Num(*v),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode a figure from the [`Self::to_json`] layout.
+    pub fn from_json(v: &crate::Json) -> Result<FigureData, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("figure missing string field '{k}'"))
+        };
+        let mut fig = FigureData::new(field("id")?, field("title")?, field("unit")?);
+        let series = v
+            .get("series")
+            .and_then(|s| s.as_arr())
+            .ok_or("figure missing 'series' array")?;
+        for s in series {
+            let name = s
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or("series missing 'name'")?;
+            let points = s
+                .get("points")
+                .and_then(|p| p.as_arr())
+                .ok_or("series missing 'points'")?;
+            for p in points {
+                let pair = p.as_arr().filter(|a| a.len() == 2).ok_or("bad point")?;
+                let cat = pair[0].as_str().ok_or("bad point category")?;
+                let val = pair[1].as_f64().ok_or("bad point value")?;
+                fig.add(name, cat, val);
+            }
+        }
+        Ok(fig)
     }
 
     /// Render as CSV with the same layout as [`Self::to_text_table`].
@@ -265,8 +334,10 @@ mod tests {
     #[test]
     fn series_roundtrip_through_json() {
         let f = fig();
-        let json = serde_json::to_string(&f).unwrap();
-        let back: FigureData = serde_json::from_str(&json).unwrap();
+        let json = f.to_json().to_string_compact();
+        let back = FigureData::from_json(&crate::Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.get("Default", "BLAS-3"), Some(200.0));
+        assert_eq!(back.id, f.id);
+        assert_eq!(back.categories(), f.categories());
     }
 }

@@ -7,10 +7,9 @@
 
 use crate::counters::PerfCounters;
 use crate::energy::EnergyBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// A complete observation of one workload execution.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Measurement {
     /// Aggregated hardware counters over the run.
     pub counters: PerfCounters,

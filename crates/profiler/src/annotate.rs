@@ -10,10 +10,9 @@ use crate::detect::DetectedPeriod;
 use crate::loopmap::LoopNest;
 use rda_core::{PpDemand, SiteId};
 use rda_machine::ReuseLevel;
-use serde::{Deserialize, Serialize};
 
 /// A ready-to-insert progress-period annotation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpAnnotation {
     /// The static site (outermost enclosing loop) to bracket.
     pub site: SiteId,

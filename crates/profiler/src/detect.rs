@@ -9,10 +9,9 @@
 //! period (or one window later on failure).
 
 use crate::window::WindowStats;
-use serde::{Deserialize, Serialize};
 
 /// Detector parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Minimum consecutive similar windows to open a period (the
     /// paper's `y/x`).
@@ -31,7 +30,7 @@ impl Default for DetectorConfig {
 }
 
 /// A detected progress period: a span of similar windows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectedPeriod {
     /// First window index (inclusive).
     pub start_window: usize,

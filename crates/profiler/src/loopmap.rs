@@ -12,11 +12,10 @@
 //! outermost enclosing loop (stopping below a declared *function root*,
 //! which models the paper's per-function period placement).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A loop-nest forest: each loop has an optional parent loop.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LoopNest {
     parent: HashMap<u32, Option<u32>>,
 }

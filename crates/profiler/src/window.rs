@@ -13,11 +13,10 @@
 //! the cache actually allocates, and report footprint/WSS in bytes.
 
 use rda_workloads::{MemoryTrace, TraceRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Windowing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowConfig {
     /// Memory operations per window (the paper's window of `x`
     /// instructions; we count the traced memory instructions).
@@ -39,7 +38,7 @@ impl Default for WindowConfig {
 }
 
 /// Statistics of one sampling window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowStats {
     /// Index of the window within the trace.
     pub index: usize,

@@ -13,10 +13,9 @@ use crate::detect::{detect_periods, DetectorConfig};
 use crate::window::{windowize, WindowConfig};
 use rda_metrics::regress::{log_fit, prediction_accuracy, Fit};
 use rda_workloads::trace::TraceRecorder;
-use serde::{Deserialize, Serialize};
 
 /// One progress period's WSS across the profiled input scales.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WssSeries {
     /// Label, e.g. `"Wnsq PP1"`.
     pub label: String,

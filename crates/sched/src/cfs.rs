@@ -11,10 +11,9 @@
 use crate::runqueue::RunQueue;
 use crate::task::{ProcessId, Task, TaskId, TaskState};
 use rda_machine::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Static scheduler parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Number of cores (one runqueue each).
     pub cores: usize,
@@ -36,7 +35,7 @@ impl SchedConfig {
 }
 
 /// Counters describing scheduler activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedStats {
     /// A core started running a task different from its previous one.
     pub context_switches: u64,

@@ -5,16 +5,15 @@
 //! periods, since the paper's working-set demands are properties of a
 //! process's data.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a schedulable task (thread). Dense indices into the
 /// scheduler's task table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u32);
 
 /// Identifier of a process (a group of tasks sharing working sets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
 
 impl fmt::Display for TaskId {
@@ -30,7 +29,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// Scheduling state of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskState {
     /// On a runqueue, waiting for a core.
     Runnable,
@@ -51,7 +50,7 @@ impl TaskState {
 }
 
 /// Scheduler-side bookkeeping for one task.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Task {
     /// This task's id.
     pub id: TaskId,

@@ -20,7 +20,6 @@ use rda_machine::ReuseLevel;
 use rda_metrics::FigureData;
 use rda_workloads::splash::water::DOUBLES_PER_MOL;
 use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// The paper's input sizes (molecules).
 pub const INPUTS: [usize; 4] = [512, 3375, 8000, 32768];
@@ -69,7 +68,7 @@ fn spec(molecules: usize, instances: usize) -> WorkloadSpec {
 }
 
 /// One cell of the Figure 13 matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InterferencePoint {
     /// Molecule count.
     pub molecules: usize,

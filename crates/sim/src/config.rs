@@ -4,10 +4,9 @@ use rda_core::PolicyKind;
 use rda_machine::{EnergyModel, MachineConfig};
 use rda_machine::perf::PerfParams;
 use rda_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Everything a [`crate::SystemSim`] needs besides the workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The simulated machine (Table 1 by default).
     pub machine: MachineConfig,
@@ -25,7 +24,17 @@ pub struct SimConfig {
     /// When set, record a [`crate::system::TimelineSample`] every this
     /// many cycles (core utilisation, LLC pressure, waitlist depth).
     pub sample_every: Option<SimDuration>,
+    /// Seed of the deterministic timeslice-jitter stream. The sweep
+    /// runner derives one per run from its root seed
+    /// (`SplitMix64::derive_stream`) so replicated runs observe
+    /// independent jitter while staying exactly reproducible.
+    pub jitter_seed: u64,
 }
+
+/// Historical default jitter seed; kept so single-run behaviour (and
+/// every checked-in expectation) is unchanged from before the sweep
+/// runner existed.
+pub const DEFAULT_JITTER_SEED: u64 = 0x0005_c4ed_1234;
 
 impl SimConfig {
     /// Paper-default configuration for a given policy.
@@ -40,12 +49,19 @@ impl SimConfig {
             rebalance_every,
             max_sim_seconds: 1000.0,
             sample_every: None,
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 
     /// Enable timeline sampling at the given period in milliseconds.
     pub fn with_sampling_ms(mut self, ms: f64) -> Self {
         self.sample_every = Some(SimDuration::from_micros(ms * 1e3, self.machine.freq_hz));
+        self
+    }
+
+    /// Use the given timeslice-jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
         self
     }
 }

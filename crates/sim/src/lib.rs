@@ -15,7 +15,9 @@
 //!
 //! [`experiment`] wraps it into the paper's measurement loops
 //! (Figures 7–10), [`overhead`] reproduces the Figure 11 granularity
-//! study, and [`concurrency`] the Figure 13 interference study.
+//! study, [`concurrency`] the Figure 13 interference study, and
+//! [`runner`] shards whole configuration grids across a deterministic
+//! work-stealing thread pool.
 
 #![warn(missing_docs)]
 
@@ -23,8 +25,13 @@ pub mod concurrency;
 pub mod config;
 pub mod experiment;
 pub mod overhead;
+pub mod runner;
 pub mod system;
 
 pub use config::SimConfig;
 pub use experiment::{run_workload, PolicyRun};
+pub use runner::{
+    run_sweep, run_sweep_configured, RunConfig, RunError, RunRecord, RunnerOptions, Shard,
+    SweepGrid, SweepResult,
+};
 pub use system::SystemSim;

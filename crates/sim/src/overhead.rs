@@ -16,7 +16,6 @@ use rda_core::{mb, PolicyKind, SiteId};
 use rda_machine::ReuseLevel;
 use rda_metrics::FigureData;
 use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Total instructions of the dgemm kernel (512³ MACs ≈ 2×512³ flops at
 /// 45 % FLOP density ≈ 600 M instructions).
@@ -27,7 +26,7 @@ pub const DGEMM_WS_MB: f64 = 2.4;
 pub const N: u64 = 512;
 
 /// One measured granularity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GranularityPoint {
     /// Label ("no pp", "outer", "middle", "inner").
     pub label: String,

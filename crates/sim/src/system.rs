@@ -38,7 +38,7 @@ pub struct RunResult {
 }
 
 /// One periodic observation of system state.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineSample {
     /// Sample time, seconds.
     pub t_secs: f64,
@@ -63,6 +63,75 @@ impl RunResult {
             return f64::NAN;
         }
         self.timeline.iter().map(|s| s.busy_cores).sum::<usize>() as f64 / (n * cores) as f64
+    }
+
+    /// A platform-stable 64-bit digest over every observable field of
+    /// the run: counters, energy, wall-clock, extension and scheduler
+    /// activity, per-process finish times, and the full timeline.
+    ///
+    /// Two runs are behaviourally identical iff their digests match;
+    /// the sweep runner uses this to prove serial and multi-threaded
+    /// sweeps bit-identical, and the golden-trace test pins one digest
+    /// in the repository so simulator changes are explicit diffs.
+    pub fn digest(&self) -> u64 {
+        let mut h = rda_simcore::Fnv1a64::new();
+        let c = &self.measurement.counters;
+        for v in [
+            c.instructions,
+            c.cycles,
+            c.flops,
+            c.mem_ops,
+            c.l1_misses,
+            c.l2_misses,
+            c.llc_misses,
+            c.llc_accesses,
+            c.context_switches,
+            c.migrations,
+            c.pp_begins,
+            c.pp_ends,
+            c.fastpath_hits,
+            c.waitlisted,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_f64(self.measurement.energy.pkg_joules)
+            .write_f64(self.measurement.energy.dram_joules)
+            .write_f64(self.measurement.wall_secs);
+        for v in [
+            self.rda.begins,
+            self.rda.ends,
+            self.rda.admitted,
+            self.rda.paused,
+            self.rda.resumed,
+            self.rda.fast_begins,
+            self.rda.fast_ends,
+            self.rda.max_waitlist,
+            self.rda.oversized_admits,
+        ] {
+            h.write_u64(v);
+        }
+        for v in [
+            self.sched.context_switches,
+            self.sched.migrations,
+            self.sched.balance_moves,
+            self.sched.wakeups,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_usize(self.finish_secs.len());
+        for &t in &self.finish_secs {
+            h.write_f64(t);
+        }
+        h.write_usize(self.timeline.len());
+        for s in &self.timeline {
+            h.write_f64(s.t_secs)
+                .write_usize(s.busy_cores)
+                .write_usize(s.active_threads)
+                .write_u64(s.running_pressure_bytes)
+                .write_u64(s.admitted_demand_bytes)
+                .write_usize(s.waitlisted);
+        }
+        h.finish()
     }
 
     /// Fairness across processes: max finish time / mean finish time
@@ -177,7 +246,7 @@ impl SystemSim {
             last_on_core: vec![None; cores],
             next_rebalance,
             unfinished: spec.processes.len(),
-            jitter: SplitMix64::new(0x0005_c4ed_1234),
+            jitter: SplitMix64::new(cfg.jitter_seed),
             next_sample: cfg
                 .sample_every
                 .map_or(SimTime::MAX, |d| SimTime::ZERO + d),

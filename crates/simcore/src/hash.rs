@@ -1,0 +1,127 @@
+//! Deterministic 64-bit digests of simulation results.
+//!
+//! The parallel experiment engine proves serial and multi-threaded
+//! sweeps bit-identical by digesting every `RunResult`; golden-trace
+//! regression tests pin a digest in the repository so behavioural
+//! changes of the simulator show up as explicit diffs. [`Fnv1a64`] is
+//! FNV-1a — not cryptographic, but stable across platforms, releases,
+//! and compiler versions, which is the property a checked-in golden
+//! value needs.
+
+/// Incremental FNV-1a hasher over primitive fields.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a64 {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb a `usize` (widened to `u64` so digests match across
+    /// pointer widths).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorb an `f64` by bit pattern. `-0.0` is canonicalised to `0.0`
+    /// and any NaN to the quiet NaN, so semantically equal results hash
+    /// equal.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        let canonical = if v == 0.0 {
+            0.0f64
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.write_u64(canonical.to_bits())
+    }
+
+    /// Absorb a string (length-prefixed, so `"ab"+"c"` ≠ `"a"+"bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv1a64::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf29ce484222325);
+        assert_eq!(digest("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = Fnv1a64::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv1a64::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_canonicalisation() {
+        let bits = |v: f64| {
+            let mut h = Fnv1a64::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        assert_eq!(bits(0.0), bits(-0.0));
+        assert_eq!(bits(f64::NAN), bits(-f64::NAN));
+        assert_ne!(bits(1.0), bits(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn string_framing_prevents_concatenation_collisions() {
+        let two = |a: &str, b: &str| {
+            let mut h = Fnv1a64::new();
+            h.write_str(a).write_str(b);
+            h.finish()
+        };
+        assert_ne!(two("ab", "c"), two("a", "bc"));
+    }
+}

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use hash::Fnv1a64;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};

@@ -47,6 +47,33 @@ impl SplitMix64 {
         // irrelevant for workload generation.
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
+
+    /// Derive the seed of an independent child stream from a root seed.
+    ///
+    /// Parallel sweeps give every run `derive_stream(root, index)` so
+    /// that (a) no RNG state is shared between concurrent runs and
+    /// (b) a run's stream depends only on `(root, index)` — never on
+    /// which worker thread executed it or in what order — which is what
+    /// makes serial and multi-threaded sweeps bit-identical.
+    ///
+    /// Two full SplitMix64 scrambles separate the root/stream inputs so
+    /// that consecutive indices yield statistically unrelated streams.
+    pub const fn derive_stream(root: u64, stream: u64) -> u64 {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut sm = SplitMix64::new(stream ^ GOLDEN.wrapping_mul(root.rotate_left(17)));
+        let a = sm.const_next();
+        let mut sm2 = SplitMix64::new(root ^ a);
+        sm2.const_next()
+    }
+
+    /// `next_u64` usable in const contexts (used by `derive_stream`).
+    const fn const_next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// xoshiro256++ 1.0 by Blackman & Vigna.
@@ -129,6 +156,39 @@ mod tests {
         let mut r = SplitMix64::new(1234567);
         assert_eq!(r.next_u64(), 6457827717110365317);
         assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn derive_stream_is_pure_and_spreads() {
+        // Pure function of (root, index).
+        assert_eq!(
+            SplitMix64::derive_stream(42, 7),
+            SplitMix64::derive_stream(42, 7)
+        );
+        // Distinct indices and distinct roots give distinct streams.
+        let mut seeds: Vec<u64> = (0..1000)
+            .map(|i| SplitMix64::derive_stream(0xDEAD_BEEF, i))
+            .collect();
+        seeds.extend((0..1000).map(|i| SplitMix64::derive_stream(0xFEED_FACE, i)));
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 2000, "derived stream seeds collided");
+    }
+
+    #[test]
+    fn derived_streams_are_statistically_independent() {
+        // Adjacent stream indices must not produce correlated output:
+        // compare first values bit-by-bit over many indices.
+        let mut agree = 0u32;
+        let mut total = 0u32;
+        for i in 0..64 {
+            let a = SplitMix64::new(SplitMix64::derive_stream(1, i)).next_u64();
+            let b = SplitMix64::new(SplitMix64::derive_stream(1, i + 1)).next_u64();
+            agree += (!(a ^ b)).count_ones();
+            total += 64;
+        }
+        let frac = agree as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "bit agreement {frac}");
     }
 
     #[test]

@@ -4,10 +4,9 @@
 //! it feeds them into [`RunningStats`] (Welford's online algorithm) or a
 //! power-of-two [`Histogram`]. Both are exact single-pass accumulators.
 
-use serde::{Deserialize, Serialize};
 
 /// Online mean / variance / min / max accumulator (Welford).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -119,7 +118,7 @@ impl RunningStats {
 /// bucket `k` counts values whose highest set bit is `k` (value 0 lands
 /// in bucket 0). Useful for latency and working-set distributions that
 /// span many orders of magnitude.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

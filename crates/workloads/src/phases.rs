@@ -11,10 +11,9 @@
 
 use rda_core::{PpDemand, SiteId};
 use rda_machine::{AccessProfile, ReuseLevel};
-use serde::{Deserialize, Serialize};
 
 /// One phase of a process program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Human-readable phase label (e.g. `"dgemm"`, `"intraf"`).
     pub name: String,
@@ -27,7 +26,7 @@ pub struct Phase {
 }
 
 /// The progress-period declaration of a tracked phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpPhase {
     /// Static site id of the `pp_begin`/`pp_end` pair.
     pub site: SiteId,
@@ -78,7 +77,7 @@ impl Phase {
 }
 
 /// A process: its thread count and phase sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessProgram {
     /// Number of threads the process spawns.
     pub threads: usize,
@@ -105,7 +104,7 @@ impl ProcessProgram {
 }
 
 /// A complete workload: a named set of processes (one Table 2 row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name as the figures label it (e.g. `"BLAS-3"`).
     pub name: String,

@@ -189,8 +189,12 @@ impl WaterSim {
             let c = |x: f64| (((x * m as f64) as usize).min(m - 1)) as i64;
             (c(p[0]), c(p[1]), c(p[2]))
         };
-        let mut cells: std::collections::HashMap<(i64, i64, i64), Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap so the force accumulation below visits cells in a
+        // fixed order — f64 addition is not associative, and the sweep
+        // runner's bit-identical-digest guarantee needs a fixed sum
+        // order.
+        let mut cells: std::collections::BTreeMap<(i64, i64, i64), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for i in 0..self.n {
             cells.entry(cell_of(&self.pos[i])).or_default().push(i);
         }

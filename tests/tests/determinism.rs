@@ -1,0 +1,68 @@
+//! The tentpole guarantee of the sweep runner: results are a pure
+//! function of (grid, root seed). Serial and multi-threaded executions
+//! of the Figure 9 grid — and any shard decomposition — produce
+//! bit-identical digests.
+
+use rda_bench::headline::headline_grid;
+use rda_sim::runner::{run_sweep, RunnerOptions, Shard, SweepGrid};
+use rda_sim::experiment::paper_policies;
+use rda_workloads::spec::all_workloads;
+
+/// Serial vs 8-thread execution of the full headline (Figure 9) grid:
+/// every per-run digest and the sweep digest must match bit-for-bit.
+#[test]
+fn figure9_grid_serial_vs_parallel_bit_identical() {
+    let grid = headline_grid();
+    let serial = run_sweep(&grid, &RunnerOptions::serial());
+    let parallel = run_sweep(
+        &grid,
+        &RunnerOptions {
+            threads: 8,
+            ..RunnerOptions::default()
+        },
+    );
+    assert!(serial.errors.is_empty(), "{:?}", serial.errors);
+    assert!(parallel.errors.is_empty(), "{:?}", parallel.errors);
+    assert_eq!(serial.records.len(), grid.len());
+    for (s, p) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(
+            s.digest, p.digest,
+            "cell #{} ({} under {}) diverged between serial and parallel",
+            s.index, s.workload, s.policy
+        );
+    }
+    assert_eq!(serial.digest(), parallel.digest());
+}
+
+/// Shards of a grid recompose into exactly the unsharded sweep: the
+/// per-cell streams depend on global grid indices, not on which
+/// process runs them.
+#[test]
+fn sharded_sweep_recomposes_bit_identically() {
+    // Two real workloads keep this case quick while still exercising
+    // the whole stack.
+    let specs = all_workloads();
+    let grid = SweepGrid::cross(&specs[..2], &paper_policies(), 1);
+    let full = run_sweep(&grid, &RunnerOptions::default());
+    assert!(full.errors.is_empty(), "{:?}", full.errors);
+
+    let mut merged = Vec::new();
+    for index in 0..3 {
+        let part = run_sweep(
+            &grid,
+            &RunnerOptions {
+                shard: Some(Shard { index, count: 3 }),
+                ..RunnerOptions::default()
+            },
+        );
+        assert!(part.errors.is_empty(), "{:?}", part.errors);
+        merged.extend(part.records);
+    }
+    merged.sort_by_key(|r| r.index);
+    assert_eq!(merged.len(), full.records.len());
+    for (m, f) in merged.iter().zip(&full.records) {
+        assert_eq!(m.index, f.index);
+        assert_eq!(m.digest, f.digest, "shard cell #{} diverged", m.index);
+    }
+}
