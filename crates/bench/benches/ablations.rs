@@ -83,8 +83,8 @@ fn extension_roundtrip(c: &mut Criterion) {
             t += 1_000_000; // stays past the freshness horizon
             let site = SiteId((t / 1_000_000 % 2) as u32);
             match ext.pp_begin(ProcessId(0), site, d, SimTime::from_cycles(t)) {
-                rda_core::BeginOutcome::Run { pp, .. } => {
-                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)));
+                Ok(rda_core::BeginOutcome::Run { pp, .. }) => {
+                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)).unwrap());
                 }
                 _ => unreachable!(),
             }
@@ -101,8 +101,8 @@ fn extension_roundtrip(c: &mut Criterion) {
         b.iter(|| {
             t += 100;
             match ext.pp_begin(ProcessId(0), SiteId(0), d, SimTime::from_cycles(t)) {
-                rda_core::BeginOutcome::Run { pp, .. } => {
-                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)));
+                Ok(rda_core::BeginOutcome::Run { pp, .. }) => {
+                    black_box(ext.pp_end(pp, SimTime::from_cycles(t + 10)).unwrap());
                 }
                 _ => unreachable!(),
             }

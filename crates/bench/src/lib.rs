@@ -15,6 +15,7 @@
 //! | `exp_fig11_overhead` | Figure 11 — tracking-granularity overhead |
 //! | `exp_fig12_wss` | Figure 12 — WSS prediction across input scales |
 //! | `exp_fig13_interference` | Figure 13 — concurrency interference |
+//! | `exp_faults` | fault-injection sweep — graceful degradation (PR 2) |
 //! | `exp_all` | everything above, plus a JSON dump |
 
 #![warn(missing_docs)]

@@ -3,6 +3,29 @@
 use crate::policy::PolicyKind;
 use rda_machine::MachineConfig;
 
+/// How declared demands are audited against the resource's nominal
+/// capacity before accounting (the paper trusts applications; a
+/// production scheduler cannot — a lying or buggy process declaring a
+/// demand larger than the whole resource would otherwise park every
+/// other tracked process until it exits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandAudit {
+    /// Account declared demands verbatim (the paper's behaviour). An
+    /// impossible demand is still admitted by the deadlock guard, and
+    /// its full declared amount occupies the load table until it ends.
+    Trust,
+    /// Account at most the resource's nominal capacity for any single
+    /// period; clamped periods are counted in
+    /// [`crate::extension::RdaStats::clamped`]. One liar can then hold
+    /// at most one capacity's worth of the books.
+    Clamp,
+    /// Refuse to track a demand larger than the resource:
+    /// `pp_begin` returns [`crate::error::RdaError::DemandOverflow`]
+    /// and the caller schedules the process directly on the OS
+    /// (the paper's escape hatch for untracked processes).
+    Reject,
+}
+
 /// Tunables of the scheduling extension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RdaConfig {
@@ -23,6 +46,14 @@ pub struct RdaConfig {
     /// site; calls arriving sooner take the fast path when the cached
     /// decision is still valid (see [`crate::fastpath`]).
     pub min_eval_interval_cycles: u64,
+    /// How declared demands are audited before accounting.
+    pub demand_audit: DemandAudit,
+    /// Waitlist aging: a period waiting this many cycles or longer is
+    /// force-admitted under the degraded overflow accounting bucket,
+    /// bounding worst-case wait (`None` disables aging — the paper's
+    /// behaviour, where FIFO re-evaluation is the only way off the
+    /// waitlist).
+    pub waitlist_timeout_cycles: Option<u64>,
 }
 
 impl RdaConfig {
@@ -40,7 +71,21 @@ impl RdaConfig {
             slow_call_cycles: us(50.0),
             fast_call_cycles: us(0.55),
             min_eval_interval_cycles: us(250.0),
+            demand_audit: DemandAudit::Trust,
+            waitlist_timeout_cycles: None,
         }
+    }
+
+    /// Use the given demand-audit mode.
+    pub fn with_demand_audit(mut self, audit: DemandAudit) -> Self {
+        self.demand_audit = audit;
+        self
+    }
+
+    /// Enable waitlist aging with the given timeout in cycles.
+    pub fn with_waitlist_timeout_cycles(mut self, cycles: u64) -> Self {
+        self.waitlist_timeout_cycles = Some(cycles);
+        self
     }
 
     /// Capacity of a resource under this configuration.
@@ -67,5 +112,18 @@ mod tests {
         
         assert_eq!(c.slow_call_cycles, 95_000); // 50 us at 1.9 GHz
         assert!(c.fast_call_cycles < c.slow_call_cycles / 50);
+        // The paper's trusting, aging-free behaviour is the default.
+        assert_eq!(c.demand_audit, DemandAudit::Trust);
+        assert_eq!(c.waitlist_timeout_cycles, None);
+    }
+
+    #[test]
+    fn builders_set_robustness_knobs() {
+        let m = MachineConfig::xeon_e5_2420();
+        let c = RdaConfig::for_machine(&m, PolicyKind::Strict)
+            .with_demand_audit(DemandAudit::Clamp)
+            .with_waitlist_timeout_cycles(1_000);
+        assert_eq!(c.demand_audit, DemandAudit::Clamp);
+        assert_eq!(c.waitlist_timeout_cycles, Some(1_000));
     }
 }

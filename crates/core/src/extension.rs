@@ -17,9 +17,35 @@
 //! Untracked processes are invisible here: *"Our system ignores
 //! processes that have not provided progress period information, and
 //! schedules them directly on the operating system."*
+//!
+//! # Fault model
+//!
+//! The paper assumes cooperative applications. This implementation does
+//! not, and survives three classes of misbehaviour:
+//!
+//! * **Protocol violations** — an end for a period that was never begun,
+//!   already ended, or is still waitlisted is rejected with a typed
+//!   [`RdaError`] (counted in [`RdaStats::rejected_ends`]) instead of
+//!   corrupting the load table or panicking.
+//! * **Lying demands** — the demand auditor
+//!   ([`crate::config::DemandAudit`]) clamps or rejects declarations
+//!   larger than the resource itself, so one liar cannot hold more than
+//!   one capacity's worth of the books ([`RdaStats::clamped`]).
+//! * **Dying processes** — [`RdaExtension::process_exit`] reclaims every
+//!   open period of an exiting process — admitted demand is released,
+//!   waitlisted entries are cancelled — and re-walks the waitlist
+//!   ([`RdaStats::reclaimed`]).
+//!
+//! Independently, **waitlist aging** (when
+//! [`crate::config::RdaConfig::waitlist_timeout_cycles`] is set) bounds
+//! worst-case wait by construction: a period that has waited past the
+//! timeout is force-admitted under the monitor's degraded overflow
+//! bucket ([`RdaStats::aged_admissions`]), which the predicate does not
+//! see — so degraded admissions can never wedge the nominal books shut.
 
 use crate::api::{PpDemand, PpId, Resource, SiteId};
-use crate::config::RdaConfig;
+use crate::config::{DemandAudit, RdaConfig};
+use crate::error::{InvariantKind, RdaError};
 use crate::fastpath::FastPathCache;
 use crate::monitor::ResourceMonitor;
 use crate::policy::PolicyKind;
@@ -34,13 +60,13 @@ use rda_simcore::SimTime;
 pub struct RdaStats {
     /// `pp_begin` calls processed.
     pub begins: u64,
-    /// `pp_end` calls processed.
+    /// `pp_end` calls processed (including rejected ones).
     pub ends: u64,
     /// Periods admitted immediately at `pp_begin`.
     pub admitted: u64,
     /// Periods paused (waitlisted) at `pp_begin`.
     pub paused: u64,
-    /// Periods later admitted from the waitlist.
+    /// Periods later admitted from the waitlist by the predicate.
     pub resumed: u64,
     /// `pp_begin` calls served by the fast path.
     pub fast_begins: u64,
@@ -50,6 +76,17 @@ pub struct RdaStats {
     pub max_waitlist: u64,
     /// Oversized demands admitted by the deadlock guard.
     pub oversized_admits: u64,
+    /// Periods reclaimed by [`RdaExtension::process_exit`] (open or
+    /// waitlisted periods of a dying process).
+    pub reclaimed: u64,
+    /// Declared demands the auditor clamped or rejected.
+    pub clamped: u64,
+    /// Periods force-admitted by waitlist aging into the overflow
+    /// bucket.
+    pub aged_admissions: u64,
+    /// `pp_end` calls rejected with a typed error (unknown id, double
+    /// end, or end of a waitlisted period).
+    pub rejected_ends: u64,
 }
 
 /// Outcome of a `pp_begin` call.
@@ -124,9 +161,20 @@ impl RdaExtension {
         self.stats
     }
 
-    /// Current tracked usage of a resource.
+    /// Current nominally tracked usage of a resource (what the
+    /// predicate sees; excludes the overflow bucket).
     pub fn usage(&self, r: Resource) -> u64 {
         self.monitor.usage(r)
+    }
+
+    /// Demand held by aged (overflow-admitted) periods.
+    pub fn overflow_usage(&self, r: Resource) -> u64 {
+        self.monitor.overflow(r)
+    }
+
+    /// Number of live periods (admitted + waitlisted) in the registry.
+    pub fn live_periods(&self) -> usize {
+        self.registry.len()
     }
 
     /// Iterate the admitted (running) periods.
@@ -139,6 +187,12 @@ impl RdaExtension {
         self.waitlist.len(r)
     }
 
+    /// Enqueue time of the longest-waiting period on a resource — the
+    /// next to be force-admitted when aging is enabled.
+    pub fn oldest_wait(&self, r: Resource) -> Option<SimTime> {
+        self.waitlist.oldest(r)
+    }
+
     /// Cycle cost of a call, by path (the simulation charges this to
     /// the calling thread).
     pub fn call_cost_cycles(&self, fast: bool) -> u64 {
@@ -149,21 +203,72 @@ impl RdaExtension {
         }
     }
 
+    /// Audit a declared demand amount against the resource's nominal
+    /// capacity. Returns the amount to account, or a typed rejection.
+    fn audit_demand(&mut self, resource: Resource, declared: u64) -> Result<u64, RdaError> {
+        let capacity = self.monitor.capacity(resource);
+        match self.cfg.demand_audit {
+            DemandAudit::Trust => Ok(declared),
+            DemandAudit::Clamp => {
+                if declared > capacity {
+                    self.stats.clamped += 1;
+                    Ok(capacity)
+                } else {
+                    Ok(declared)
+                }
+            }
+            DemandAudit::Reject => {
+                if declared > capacity {
+                    self.stats.clamped += 1;
+                    Err(RdaError::DemandOverflow {
+                        resource,
+                        declared,
+                        capacity,
+                    })
+                } else {
+                    Ok(declared)
+                }
+            }
+        }
+    }
+
     /// Process a `pp_begin` from `process` at static site `site`.
+    ///
+    /// `Err` means the demand auditor refused to track the period
+    /// ([`RdaError::DemandOverflow`]): the caller should schedule the
+    /// process directly on the OS, exactly as for untracked processes.
     pub fn pp_begin(
         &mut self,
         process: ProcessId,
         site: SiteId,
         demand: PpDemand,
         now: SimTime,
-    ) -> BeginOutcome {
+    ) -> Result<BeginOutcome, RdaError> {
         if !self.cfg.policy.is_gating() {
-            return BeginOutcome::Bypass;
+            return Ok(BeginOutcome::Bypass);
         }
         self.stats.begins += 1;
         let resource = demand.resource;
         let capacity = self.monitor.capacity(resource);
-        let accounted = self.cfg.policy.effective_demand(demand.amount, capacity);
+
+        // Demand audit: a lying process must not be able to poison the
+        // load table with an impossible declaration.
+        let audited = self.audit_demand(resource, demand.amount)?;
+        let demand = PpDemand {
+            amount: audited,
+            ..demand
+        };
+        let accounted = self.cfg.policy.effective_demand(audited, capacity);
+        // 64-bit load-table overflow guard (audit-mode independent):
+        // accounting this demand must not wrap the usage word.
+        if self.monitor.usage(resource).checked_add(accounted).is_none() {
+            self.stats.clamped += 1;
+            return Err(RdaError::DemandOverflow {
+                resource,
+                declared: demand.amount,
+                capacity,
+            });
+        }
 
         // Fast path: repeat entry of a recently validated site while no
         // one is waitlisted ahead of us.
@@ -172,7 +277,7 @@ impl RdaExtension {
                 process,
                 site,
                 resource,
-                demand.amount,
+                audited,
                 self.monitor.usage(resource),
                 now,
                 self.cfg.min_eval_interval_cycles,
@@ -184,7 +289,7 @@ impl RdaExtension {
                 .register(process, site, demand, accounted, true, now);
             self.stats.admitted += 1;
             self.stats.fast_begins += 1;
-            return BeginOutcome::Run { pp, fast: true };
+            return Ok(BeginOutcome::Run { pp, fast: true });
         }
 
         // Slow path: full Algorithm 1.
@@ -205,20 +310,29 @@ impl RdaExtension {
                     .usage_limit(capacity)
                     .saturating_sub(accounted);
                 self.fastpath
-                    .store_run(process, site, resource, demand.amount, threshold, now);
-                BeginOutcome::Run { pp, fast: false }
+                    .store_run(process, site, resource, audited, threshold, now);
+                Ok(BeginOutcome::Run { pp, fast: false })
             }
             Decision::Pause => {
                 let pp = self
                     .registry
                     .register(process, site, demand, accounted, false, now);
-                self.waitlist.push(resource, WaitEntry { pp, accounted });
+                self.waitlist
+                    .push(
+                        resource,
+                        WaitEntry {
+                            pp,
+                            accounted,
+                            enqueued_at: now,
+                        },
+                    )
+                    .expect("freshly allocated id cannot already be waitlisted");
                 self.stats.paused += 1;
                 self.stats.max_waitlist = self
                     .stats
                     .max_waitlist
                     .max(self.waitlist.len(resource) as u64);
-                BeginOutcome::Pause { pp }
+                Ok(BeginOutcome::Pause { pp })
             }
         }
     }
@@ -227,21 +341,32 @@ impl RdaExtension {
     /// [`Self::pp_begin`]. Returns the waitlisted periods this
     /// completion admitted.
     ///
-    /// Panics if `pp` is not a live period (ending twice, or ending a
-    /// waitlisted period, is an application bug the kernel would
-    /// reject).
-    pub fn pp_end(&mut self, pp: PpId, now: SimTime) -> EndOutcome {
+    /// Misbehaving applications get a typed error instead of a panic:
+    /// an id that was never allocated ([`RdaError::UnknownPp`]), a
+    /// period that already ended or was reclaimed when its process
+    /// exited ([`RdaError::DoubleEnd`]), or a period still waitlisted —
+    /// whose process should be paused and cannot legally reach the end
+    /// marker ([`RdaError::EndWhileWaitlisted`]). The extension's state
+    /// is untouched on every error path.
+    pub fn pp_end(&mut self, pp: PpId, now: SimTime) -> Result<EndOutcome, RdaError> {
         self.stats.ends += 1;
-        let record = self
-            .registry
-            .complete(pp)
-            .unwrap_or_else(|| panic!("{pp} ended but not live"));
-        assert!(
-            record.admitted,
-            "{pp} ended while waitlisted — the process should be paused"
-        );
+        let Some(live) = self.registry.get(pp) else {
+            self.stats.rejected_ends += 1;
+            return Err(if self.registry.was_allocated(pp) {
+                RdaError::DoubleEnd(pp)
+            } else {
+                RdaError::UnknownPp(pp)
+            });
+        };
+        if !live.admitted {
+            self.stats.rejected_ends += 1;
+            return Err(RdaError::EndWhileWaitlisted(pp));
+        }
+        // Unreachable `expect`: `get` returned the record above and
+        // only this method removes it between the two calls.
+        let record = self.registry.complete(pp).expect("record checked live");
         let resource = record.demand.resource;
-        self.monitor.decrement_load(resource, record.accounted);
+        self.release(&record);
 
         // Fast path: nothing can be woken (no waiters) *and* the site
         // was validated recently, so the release is a shared-page
@@ -255,111 +380,222 @@ impl RdaExtension {
             )
         {
             self.stats.fast_ends += 1;
-            return EndOutcome {
+            return Ok(EndOutcome {
                 fast: true,
                 resumed: Vec::new(),
-            };
+            });
         }
         // Slow completion with no waiters: nothing to resume.
         if self.waitlist.len(resource) == 0 {
-            return EndOutcome {
+            return Ok(EndOutcome {
                 fast: false,
                 resumed: Vec::new(),
-            };
+            });
         }
 
-        // Walk the FIFO admitting while the head fits (Figure 6:
-        // "attempt to schedule any waiting threads previously blocked
-        // due to resource constraints").
-        let mut resumed = Vec::new();
-        while let Some(head) = self.waitlist.front(resource) {
-            let rec = self
-                .registry
-                .get(head.pp)
-                .expect("waitlisted period missing from registry");
-            let decision = predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy);
-            if decision != Decision::Run {
-                break;
-            }
-            self.waitlist.pop(resource);
-            self.monitor.increment_load(resource, head.accounted);
-            let rec = self.registry.get_mut(head.pp).unwrap();
-            rec.admitted = true;
-            let process = rec.process;
-            let site = rec.site;
-            let amount = rec.demand.amount;
-            let threshold = self
-                .cfg
-                .policy
-                .usage_limit(self.monitor.capacity(resource))
-                .saturating_sub(head.accounted);
-            self.fastpath
-                .store_run(process, site, resource, amount, threshold, now);
-            self.stats.resumed += 1;
-            resumed.push((head.pp, process));
-        }
-        EndOutcome {
+        let resumed = self.drain_waitlist(resource, now);
+        Ok(EndOutcome {
             fast: false,
             resumed,
+        })
+    }
+
+    /// Release a completed or reclaimed record's demand from the
+    /// matching accounting bucket.
+    fn release(&mut self, record: &crate::registry::PpRecord) {
+        let resource = record.demand.resource;
+        if record.overflow {
+            self.monitor.decrement_overflow(resource, record.accounted);
+        } else {
+            self.monitor.decrement_load(resource, record.accounted);
         }
     }
 
-    /// Forget everything about a process: release its admitted periods,
-    /// cancel its waitlisted ones, and drop its fast-path entries.
-    /// Returns the periods admitted from the waitlist by the released
-    /// capacity.
-    pub fn cancel_process(&mut self, process: ProcessId, now: SimTime) -> Vec<(PpId, ProcessId)> {
+    /// Reclaim everything a dying (or exiting) process holds: release
+    /// the demand of its admitted periods — nominal or overflow bucket
+    /// as appropriate — cancel its waitlisted periods, drop its
+    /// fast-path entries, and re-walk the waitlist with the released
+    /// capacity. Returns the periods admitted from the waitlist; the
+    /// caller must wake their processes.
+    ///
+    /// This is the kernel's exit-time reaper: it makes leaked `pp_end`s
+    /// and mid-period crashes recoverable instead of permanent capacity
+    /// leaks. Calling it for a process with no live periods is a cheap
+    /// no-op, so callers may invoke it unconditionally on every exit.
+    pub fn process_exit(&mut self, process: ProcessId, now: SimTime) -> Vec<(PpId, ProcessId)> {
         let live: Vec<PpId> = self
             .registry
             .iter()
             .filter(|r| r.process == process)
             .map(|r| r.id)
             .collect();
-        let mut resumed = Vec::new();
+        let had_any = !live.is_empty();
         for pp in live {
-            let rec = self.registry.complete(pp).unwrap();
+            // Unreachable `expect`: ids were collected from the
+            // registry in this same critical section.
+            let rec = self.registry.complete(pp).expect("id collected above");
             if rec.admitted {
-                self.monitor
-                    .decrement_load(rec.demand.resource, rec.accounted);
-                // Releasing capacity may admit waiters.
-                resumed.extend(self.drain_waitlist(rec.demand.resource, now));
+                self.release(&rec);
             } else {
                 self.waitlist.cancel(rec.demand.resource, pp);
             }
+            self.stats.reclaimed += 1;
         }
         self.fastpath.invalidate_process(process);
+        if !had_any {
+            return Vec::new();
+        }
+        let mut resumed = Vec::new();
+        for r in Resource::ALL {
+            resumed.extend(self.drain_waitlist(r, now));
+        }
         resumed
     }
 
+    /// Apply waitlist aging at `now`: force-admit every period that has
+    /// waited past the configured timeout (no-op when aging is
+    /// disabled), then admit any newly fitting heads. Returns the
+    /// admitted periods; the caller must wake their processes.
+    ///
+    /// The simulation driver calls this on its aging deadline so a
+    /// starved period is admitted even when no `pp_end` ever arrives.
+    pub fn age_waitlist(&mut self, now: SimTime) -> Vec<(PpId, ProcessId)> {
+        if self.cfg.waitlist_timeout_cycles.is_none() {
+            return Vec::new();
+        }
+        let mut resumed = Vec::new();
+        for r in Resource::ALL {
+            resumed.extend(self.drain_waitlist(r, now));
+        }
+        resumed
+    }
+
+    /// Walk the FIFO admitting while the head fits (Figure 6: "attempt
+    /// to schedule any waiting threads previously blocked due to
+    /// resource constraints"), interleaved with aging: when the
+    /// non-fitting head has waited past the timeout it is force-admitted
+    /// under the overflow bucket, which can unblock fitting periods
+    /// queued behind it.
     fn drain_waitlist(&mut self, resource: Resource, now: SimTime) -> Vec<(PpId, ProcessId)> {
         let mut resumed = Vec::new();
-        while let Some(head) = self.waitlist.front(resource) {
-            let rec = self.registry.get(head.pp).expect("waitlisted period missing");
-            if predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy) != Decision::Run
-            {
-                break;
+        loop {
+            // Admit while the head fits nominally.
+            while let Some(head) = self.waitlist.front(resource) {
+                // Unreachable `expect`s below: every waitlist entry has
+                // a registry record (`check_invariants` proves it after
+                // every event; only this module mutates either side).
+                let rec = self
+                    .registry
+                    .get(head.pp)
+                    .expect("waitlisted period missing from registry");
+                let decision =
+                    predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy);
+                if decision != Decision::Run {
+                    break;
+                }
+                let head = self.waitlist.pop(resource).expect("front checked above");
+                self.monitor.increment_load(resource, head.accounted);
+                let rec = self
+                    .registry
+                    .get_mut(head.pp)
+                    .expect("waitlisted period missing from registry");
+                rec.admitted = true;
+                let process = rec.process;
+                let site = rec.site;
+                let amount = rec.demand.amount;
+                let threshold = self
+                    .cfg
+                    .policy
+                    .usage_limit(self.monitor.capacity(resource))
+                    .saturating_sub(head.accounted);
+                self.fastpath
+                    .store_run(process, site, resource, amount, threshold, now);
+                self.stats.resumed += 1;
+                resumed.push((head.pp, process));
             }
-            self.waitlist.pop(resource);
-            self.monitor.increment_load(resource, head.accounted);
-            let rec = self.registry.get_mut(head.pp).unwrap();
+            // The head (if any) does not fit. Aging: force-admit it
+            // into the overflow bucket once it has waited long enough.
+            let Some(timeout) = self.cfg.waitlist_timeout_cycles else {
+                break;
+            };
+            let Some(aged) = self.waitlist.pop_expired(resource, now, timeout) else {
+                break;
+            };
+            let rec = self
+                .registry
+                .get_mut(aged.pp)
+                .expect("waitlisted period missing from registry");
             rec.admitted = true;
-            self.stats.resumed += 1;
-            resumed.push((head.pp, rec.process));
+            rec.overflow = true;
+            let process = rec.process;
+            self.monitor.increment_overflow(resource, aged.accounted);
+            self.stats.aged_admissions += 1;
+            resumed.push((aged.pp, process));
+            // Re-walk: removing the blocking head may let queued
+            // periods fit nominally now.
         }
-        let _ = now;
         resumed
     }
 
-    /// Internal consistency: the monitor's usage equals the sum of
-    /// accounted demands over admitted periods, per resource.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Internal consistency: the monitor's two buckets equal the
+    /// registry's accounted sums, and the waitlist agrees with the
+    /// registry record by record. Any violation is a scheduler bug —
+    /// never an application bug — reported as a typed
+    /// [`RdaError::InvariantViolation`].
+    pub fn check_invariants(&self) -> Result<(), RdaError> {
         for r in Resource::ALL {
-            let expected = self.registry.total_accounted(r);
-            let actual = self.monitor.usage(r);
+            let checks = [
+                (
+                    InvariantKind::UsageMismatch,
+                    self.registry.total_accounted(r),
+                    self.monitor.usage(r),
+                ),
+                (
+                    InvariantKind::OverflowMismatch,
+                    self.registry.total_overflow(r),
+                    self.monitor.overflow(r),
+                ),
+            ];
+            for (kind, expected, actual) in checks {
+                if expected != actual {
+                    return Err(RdaError::InvariantViolation {
+                        resource: r,
+                        kind,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+            for entry in self.waitlist.iter(r) {
+                match self.registry.get(entry.pp) {
+                    None => {
+                        return Err(RdaError::InvariantViolation {
+                            resource: r,
+                            kind: InvariantKind::WaitlistRecordMissing,
+                            expected: entry.pp.0,
+                            actual: 0,
+                        })
+                    }
+                    Some(rec) if rec.admitted => {
+                        return Err(RdaError::InvariantViolation {
+                            resource: r,
+                            kind: InvariantKind::WaitlistAdmitted,
+                            expected: 0,
+                            actual: entry.pp.0,
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            let expected = self.registry.waiting_on(r) as u64;
+            let actual = self.waitlist.len(r) as u64;
             if expected != actual {
-                return Err(format!(
-                    "{r}: monitor usage {actual} != registry accounted {expected}"
-                ));
+                return Err(RdaError::InvariantViolation {
+                    resource: r,
+                    kind: InvariantKind::WaitlistCountMismatch,
+                    expected,
+                    actual,
+                });
             }
         }
         Ok(())
@@ -379,6 +615,14 @@ mod tests {
         ))
     }
 
+    fn ext_cfg(cfg: RdaConfig) -> RdaExtension {
+        RdaExtension::new(cfg)
+    }
+
+    fn strict_cfg() -> RdaConfig {
+        RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), PolicyKind::Strict)
+    }
+
     fn demand(ws_mb: f64) -> PpDemand {
         PpDemand::llc(mb(ws_mb), ReuseLevel::High)
     }
@@ -387,10 +631,21 @@ mod tests {
         SimTime::from_cycles(cycles)
     }
 
+    fn begin(e: &mut RdaExtension, p: u32, site: u32, d: PpDemand, now: SimTime) -> BeginOutcome {
+        e.pp_begin(ProcessId(p), SiteId(site), d, now).unwrap()
+    }
+
+    fn must_run(e: &mut RdaExtension, p: u32, site: u32, d: PpDemand, now: SimTime) -> PpId {
+        match begin(e, p, site, d, now) {
+            BeginOutcome::Run { pp, .. } => pp,
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
     #[test]
     fn default_only_bypasses_tracking() {
         let mut e = ext(PolicyKind::DefaultOnly);
-        let out = e.pp_begin(ProcessId(0), SiteId(0), demand(100.0), t(0));
+        let out = begin(&mut e, 0, 0, demand(100.0), t(0));
         assert_eq!(out, BeginOutcome::Bypass);
         assert_eq!(e.stats().begins, 0);
         assert_eq!(e.usage(Resource::Llc), 0);
@@ -402,12 +657,9 @@ mod tests {
         // LLC is 15 MB; three 5 MB periods fit, the fourth pauses.
         let mut pps = Vec::new();
         for p in 0..3 {
-            match e.pp_begin(ProcessId(p), SiteId(0), demand(5.0), t(p as u64)) {
-                BeginOutcome::Run { pp, .. } => pps.push(pp),
-                other => panic!("expected Run, got {other:?}"),
-            }
+            pps.push(must_run(&mut e, p, 0, demand(5.0), t(p as u64)));
         }
-        let paused = match e.pp_begin(ProcessId(3), SiteId(0), demand(5.0), t(3)) {
+        let paused = match begin(&mut e, 3, 0, demand(5.0), t(3)) {
             BeginOutcome::Pause { pp } => pp,
             other => panic!("expected Pause, got {other:?}"),
         };
@@ -415,7 +667,7 @@ mod tests {
         e.check_invariants().unwrap();
 
         // Ending one admitted period resumes the waiter.
-        let out = e.pp_end(pps[0], t(10));
+        let out = e.pp_end(pps[0], t(10)).unwrap();
         assert!(!out.fast);
         assert_eq!(out.resumed, vec![(paused, ProcessId(3))]);
         assert_eq!(e.waitlist_len(Resource::Llc), 0);
@@ -429,12 +681,12 @@ mod tests {
         // sixth pauses.
         for p in 0..5 {
             assert!(matches!(
-                e.pp_begin(ProcessId(p), SiteId(0), demand(6.0), t(p as u64)),
+                begin(&mut e, p, 0, demand(6.0), t(p as u64)),
                 BeginOutcome::Run { .. }
             ));
         }
         assert!(matches!(
-            e.pp_begin(ProcessId(5), SiteId(0), demand(6.0), t(5)),
+            begin(&mut e, 5, 0, demand(6.0), t(5)),
             BeginOutcome::Pause { .. }
         ));
     }
@@ -442,11 +694,8 @@ mod tests {
     #[test]
     fn end_with_empty_waitlist_is_fast() {
         let mut e = ext(PolicyKind::Strict);
-        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(1.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
-        let out = e.pp_end(pp, t(1));
+        let pp = must_run(&mut e, 0, 0, demand(1.0), t(0));
+        let out = e.pp_end(pp, t(1)).unwrap();
         assert!(out.fast);
         assert!(out.resumed.is_empty());
         assert_eq!(e.stats().fast_ends, 1);
@@ -457,24 +706,24 @@ mod tests {
         let mut e = ext(PolicyKind::Strict);
         let interval = e.config().min_eval_interval_cycles;
         // First begin: slow.
-        let pp = match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(0)) {
+        let pp = match begin(&mut e, 0, 9, demand(2.0), t(0)) {
             BeginOutcome::Run { pp, fast } => {
                 assert!(!fast);
                 pp
             }
             _ => panic!(),
         };
-        e.pp_end(pp, t(10));
+        e.pp_end(pp, t(10)).unwrap();
         // Repeat within the interval: fast.
-        match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(20)) {
+        match begin(&mut e, 0, 9, demand(2.0), t(20)) {
             BeginOutcome::Run { pp, fast } => {
                 assert!(fast);
-                e.pp_end(pp, t(30));
+                e.pp_end(pp, t(30)).unwrap();
             }
             _ => panic!(),
         }
         // Repeat after expiry: slow again.
-        match e.pp_begin(ProcessId(0), SiteId(9), demand(2.0), t(30 + interval + 1)) {
+        match begin(&mut e, 0, 9, demand(2.0), t(30 + interval + 1)) {
             BeginOutcome::Run { fast, .. } => assert!(!fast),
             _ => panic!(),
         }
@@ -485,20 +734,17 @@ mod tests {
     fn fast_path_never_admits_what_predicate_would_deny() {
         let mut e = ext(PolicyKind::Strict);
         // Warm the cache with a 6 MB site.
-        let pp = match e.pp_begin(ProcessId(0), SiteId(1), demand(6.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
-        e.pp_end(pp, t(1));
+        let pp = must_run(&mut e, 0, 1, demand(6.0), t(0));
+        e.pp_end(pp, t(1)).unwrap();
         // Fill the cache to 10 MB with another process.
         assert!(matches!(
-            e.pp_begin(ProcessId(1), SiteId(2), demand(10.0), t(2)),
+            begin(&mut e, 1, 2, demand(10.0), t(2)),
             BeginOutcome::Run { .. }
         ));
         // The cached 6 MB site no longer fits (10 + 6 > 15): the fast
         // check must fail and the slow predicate must pause it.
         assert!(matches!(
-            e.pp_begin(ProcessId(0), SiteId(1), demand(6.0), t(3)),
+            begin(&mut e, 0, 1, demand(6.0), t(3)),
             BeginOutcome::Pause { .. }
         ));
         e.check_invariants().unwrap();
@@ -507,19 +753,16 @@ mod tests {
     #[test]
     fn waitlist_resume_is_fifo_and_cascading() {
         let mut e = ext(PolicyKind::Strict);
-        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
+        let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
         // Three small periods queue up behind the big one.
         for p in 1..4 {
             assert!(matches!(
-                e.pp_begin(ProcessId(p), SiteId(0), demand(4.0), t(p as u64)),
+                begin(&mut e, p, 0, demand(4.0), t(p as u64)),
                 BeginOutcome::Pause { .. }
             ));
         }
         // Ending the 14 MB period admits all three 4 MB waiters (12 < 15).
-        let out = e.pp_end(a, t(10));
+        let out = e.pp_end(a, t(10)).unwrap();
         assert_eq!(out.resumed.len(), 3);
         let procs: Vec<u32> = out.resumed.iter().map(|&(_, p)| p.0).collect();
         assert_eq!(procs, vec![1, 2, 3], "FIFO order");
@@ -531,23 +774,20 @@ mod tests {
         // Algorithm 1 has no waiter check: a new demand that fits runs
         // immediately even while a bigger period is waitlisted.
         let mut e = ext(PolicyKind::Strict);
-        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(10.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
+        let a = must_run(&mut e, 0, 0, demand(10.0), t(0));
         assert!(matches!(
-            e.pp_begin(ProcessId(1), SiteId(0), demand(12.0), t(1)),
+            begin(&mut e, 1, 0, demand(12.0), t(1)),
             BeginOutcome::Pause { .. }
         ));
         // 10 + 2 <= 15: admitted straight away, ahead of the waiter.
         assert!(matches!(
-            e.pp_begin(ProcessId(2), SiteId(1), demand(2.0), t(2)),
+            begin(&mut e, 2, 1, demand(2.0), t(2)),
             BeginOutcome::Run { .. }
         ));
         e.check_invariants().unwrap();
-        // Ending the 10 MB period leaves 15-2=13 < 12+2... 12 fits in
-        // 15-2=13, so the waiter resumes now.
-        let out = e.pp_end(a, t(3));
+        // Ending the 10 MB period leaves 15-2=13; 12 fits in 13, so the
+        // waiter resumes now.
+        let out = e.pp_end(a, t(3)).unwrap();
         assert_eq!(out.resumed.len(), 1);
         assert_eq!(out.resumed[0].1, ProcessId(1));
         assert_eq!(e.waitlist_len(Resource::Llc), 0);
@@ -556,27 +796,21 @@ mod tests {
     #[test]
     fn head_of_line_blocking_preserves_fifo() {
         let mut e = ext(PolicyKind::Strict);
-        let a = match e.pp_begin(ProcessId(0), SiteId(0), demand(10.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
-        let b = match e.pp_begin(ProcessId(3), SiteId(0), demand(4.0), t(1)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
+        let a = must_run(&mut e, 0, 0, demand(10.0), t(0));
+        let b = must_run(&mut e, 3, 0, demand(4.0), t(1));
         // Big waiter first, small waiter second (usage is 14 MB).
         assert!(matches!(
-            e.pp_begin(ProcessId(1), SiteId(0), demand(12.0), t(2)),
+            begin(&mut e, 1, 0, demand(12.0), t(2)),
             BeginOutcome::Pause { .. }
         ));
         assert!(matches!(
-            e.pp_begin(ProcessId(2), SiteId(0), demand(2.0), t(3)),
+            begin(&mut e, 2, 0, demand(2.0), t(3)),
             BeginOutcome::Pause { .. }
         ));
         // Ending the 4 MB period leaves 10 MB used, 5 MB free: the
         // 12 MB head doesn't fit, and the FIFO resume loop stops there —
         // the 2 MB waiter behind it stays queued even though it fits.
-        let out = e.pp_end(b, t(4));
+        let out = e.pp_end(b, t(4)).unwrap();
         assert!(out.resumed.is_empty());
         assert_eq!(e.waitlist_len(Resource::Llc), 2);
         let _ = a;
@@ -585,7 +819,7 @@ mod tests {
     #[test]
     fn oversized_demand_admitted_with_guard() {
         let mut e = ext(PolicyKind::Strict);
-        match e.pp_begin(ProcessId(0), SiteId(0), demand(20.0), t(0)) {
+        match begin(&mut e, 0, 0, demand(20.0), t(0)) {
             BeginOutcome::Run { .. } => {}
             other => panic!("oversized demand must run, got {other:?}"),
         }
@@ -593,22 +827,264 @@ mod tests {
         e.check_invariants().unwrap();
     }
 
+    /// Starvation freedom without aging: a period whose demand alone
+    /// exceeds LLC capacity can never pass the predicate, so FIFO
+    /// waiting would park it forever. The oversized-demand guard must
+    /// admit it even while the cache is fully subscribed — and the
+    /// system must still drain back to idle afterwards.
     #[test]
-    fn cancel_process_releases_and_resumes() {
+    fn oversized_demand_is_never_starved() {
+        let cfg = strict_cfg();
+        let capacity = cfg.llc_capacity;
+        let mut e = ext_cfg(cfg);
+        // Saturate the LLC with three periods.
+        let mut small = Vec::new();
+        for p in 0..3 {
+            let d = PpDemand::llc(capacity / 3, ReuseLevel::High);
+            small.push(must_run(&mut e, p, 0, d, t(p as u64)));
+        }
+        // A demand bigger than the whole cache arrives while it is
+        // full. Waitlisting it could never end (it will not fit even on
+        // an idle cache), so it must be admitted immediately.
+        let huge = PpDemand::llc(capacity + mb(5.0), ReuseLevel::High);
+        let huge_pp = must_run(&mut e, 9, 1, huge, t(10));
+        assert_eq!(e.stats().oversized_admits, 1);
+        e.check_invariants().unwrap();
+
+        // Everything still drains to idle.
+        e.pp_end(huge_pp, t(20)).unwrap();
+        for pp in small {
+            e.pp_end(pp, t(30)).unwrap();
+        }
+        assert_eq!(e.usage(Resource::Llc), 0);
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn process_exit_releases_and_resumes() {
         let mut e = ext(PolicyKind::Strict);
         assert!(matches!(
-            e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)),
+            begin(&mut e, 0, 0, demand(14.0), t(0)),
             BeginOutcome::Run { .. }
         ));
         assert!(matches!(
-            e.pp_begin(ProcessId(1), SiteId(0), demand(5.0), t(1)),
+            begin(&mut e, 1, 0, demand(5.0), t(1)),
             BeginOutcome::Pause { .. }
         ));
-        let resumed = e.cancel_process(ProcessId(0), t(2));
+        let resumed = e.process_exit(ProcessId(0), t(2));
         assert_eq!(resumed.len(), 1);
         assert_eq!(resumed[0].1, ProcessId(1));
         assert_eq!(e.usage(Resource::Llc), mb(5.0));
+        assert_eq!(e.stats().reclaimed, 1);
         e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn process_exit_cancels_waitlisted_periods() {
+        let mut e = ext(PolicyKind::Strict);
+        let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        assert!(matches!(
+            begin(&mut e, 1, 0, demand(5.0), t(1)),
+            BeginOutcome::Pause { .. }
+        ));
+        // The waiting process dies before it is ever admitted: its
+        // entry must not outlive it.
+        let resumed = e.process_exit(ProcessId(1), t(2));
+        assert!(resumed.is_empty());
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+        assert_eq!(e.live_periods(), 1);
+        assert_eq!(e.stats().reclaimed, 1);
+        e.check_invariants().unwrap();
+        e.pp_end(a, t(3)).unwrap();
+        assert_eq!(e.usage(Resource::Llc), 0);
+    }
+
+    #[test]
+    fn process_exit_reclaims_leaked_periods() {
+        let mut e = ext(PolicyKind::Strict);
+        // Two periods begun, neither ever ended (leaked pp_ends).
+        must_run(&mut e, 7, 0, demand(6.0), t(0));
+        must_run(&mut e, 7, 1, demand(4.0), t(1));
+        assert_eq!(e.usage(Resource::Llc), mb(10.0));
+        let resumed = e.process_exit(ProcessId(7), t(100));
+        assert!(resumed.is_empty());
+        assert_eq!(e.usage(Resource::Llc), 0, "all leaked demand reclaimed");
+        assert_eq!(e.live_periods(), 0);
+        assert_eq!(e.stats().reclaimed, 2);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn process_exit_without_periods_is_a_noop() {
+        let mut e = ext(PolicyKind::Strict);
+        let pp = must_run(&mut e, 0, 0, demand(2.0), t(0));
+        assert!(e.process_exit(ProcessId(42), t(1)).is_empty());
+        assert_eq!(e.stats().reclaimed, 0);
+        assert_eq!(e.usage(Resource::Llc), mb(2.0));
+        e.pp_end(pp, t(2)).unwrap();
+    }
+
+    #[test]
+    fn end_of_unknown_and_completed_periods_is_typed() {
+        let mut e = ext(PolicyKind::Strict);
+        // Never-allocated id.
+        assert_eq!(
+            e.pp_end(PpId(999), t(0)),
+            Err(RdaError::UnknownPp(PpId(999)))
+        );
+        let pp = must_run(&mut e, 0, 0, demand(1.0), t(0));
+        e.pp_end(pp, t(1)).unwrap();
+        // Same id again: a double end, not an unknown id.
+        assert_eq!(e.pp_end(pp, t(2)), Err(RdaError::DoubleEnd(pp)));
+        assert_eq!(e.stats().rejected_ends, 2);
+        // The books are untouched by the rejections.
+        assert_eq!(e.usage(Resource::Llc), 0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn end_while_waitlisted_is_rejected() {
+        let mut e = ext(PolicyKind::Strict);
+        let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let waiting = match begin(&mut e, 1, 0, demand(5.0), t(1)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            e.pp_end(waiting, t(2)),
+            Err(RdaError::EndWhileWaitlisted(waiting))
+        );
+        // The entry is still queued and resumes normally.
+        let out = e.pp_end(a, t(3)).unwrap();
+        assert_eq!(out.resumed, vec![(waiting, ProcessId(1))]);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn audit_clamp_bounds_a_lying_demand() {
+        let cfg = strict_cfg().with_demand_audit(DemandAudit::Clamp);
+        let capacity = cfg.llc_capacity;
+        let mut e = ext_cfg(cfg);
+        // A process claims 10× the cache. Clamped to capacity, it is
+        // admitted on the idle cache through the normal predicate (no
+        // oversized guard needed) and holds exactly one capacity.
+        let lie = PpDemand::llc(capacity * 10, ReuseLevel::High);
+        let pp = must_run(&mut e, 0, 0, lie, t(0));
+        assert_eq!(e.stats().clamped, 1);
+        assert_eq!(e.stats().oversized_admits, 0);
+        assert_eq!(e.usage(Resource::Llc), capacity);
+        e.check_invariants().unwrap();
+        e.pp_end(pp, t(1)).unwrap();
+        assert_eq!(e.usage(Resource::Llc), 0);
+    }
+
+    #[test]
+    fn audit_reject_refuses_a_lying_demand() {
+        let cfg = strict_cfg().with_demand_audit(DemandAudit::Reject);
+        let capacity = cfg.llc_capacity;
+        let mut e = ext_cfg(cfg);
+        let lie = PpDemand::llc(capacity + 1, ReuseLevel::High);
+        let err = e.pp_begin(ProcessId(0), SiteId(0), lie, t(0)).unwrap_err();
+        assert_eq!(
+            err,
+            RdaError::DemandOverflow {
+                resource: Resource::Llc,
+                declared: capacity + 1,
+                capacity,
+            }
+        );
+        assert_eq!(e.stats().clamped, 1);
+        assert_eq!(e.live_periods(), 0, "rejected demand is not tracked");
+        // An honest demand still goes through.
+        assert!(matches!(
+            begin(&mut e, 0, 0, demand(2.0), t(1)),
+            BeginOutcome::Run { .. }
+        ));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aging_force_admits_a_starved_waiter() {
+        let cfg = strict_cfg().with_waitlist_timeout_cycles(1_000);
+        let mut e = ext_cfg(cfg);
+        let hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let starved = match begin(&mut e, 1, 0, demand(10.0), t(10)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        // Before the timeout, nothing moves.
+        assert!(e.age_waitlist(t(500)).is_empty());
+        assert_eq!(e.waitlist_len(Resource::Llc), 1);
+        // After it, the waiter is force-admitted into the overflow
+        // bucket — the nominal books are untouched.
+        let resumed = e.age_waitlist(t(1_010));
+        assert_eq!(resumed, vec![(starved, ProcessId(1))]);
+        assert_eq!(e.stats().aged_admissions, 1);
+        assert_eq!(e.usage(Resource::Llc), mb(14.0));
+        assert_eq!(e.overflow_usage(Resource::Llc), mb(10.0));
+        e.check_invariants().unwrap();
+        // Both paths drain their own bucket.
+        e.pp_end(starved, t(2_000)).unwrap();
+        assert_eq!(e.overflow_usage(Resource::Llc), 0);
+        e.pp_end(hog, t(2_001)).unwrap();
+        assert_eq!(e.usage(Resource::Llc), 0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aging_unblocks_fitting_periods_behind_the_head() {
+        let cfg = strict_cfg().with_waitlist_timeout_cycles(1_000);
+        let mut e = ext_cfg(cfg);
+        // Saturate the cache with two periods (8 + 7 = 15 MB).
+        let a = must_run(&mut e, 0, 0, demand(8.0), t(0));
+        let _b = must_run(&mut e, 1, 0, demand(7.0), t(0));
+        // Head: 12 MB. Behind it: 6 MB. Neither fits while saturated.
+        let head = match begin(&mut e, 2, 0, demand(12.0), t(10)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        let small = match begin(&mut e, 3, 0, demand(6.0), t(20)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        // Ending the 8 MB period long after the timeout leaves 7 MB
+        // used. The 12 MB head still does not fit (19 > 15) and without
+        // aging would block the 6 MB entry (7 + 6 ≤ 15) forever. The
+        // drain must age the head into the overflow bucket, then admit
+        // the small entry nominally on the re-walk.
+        let out = e.pp_end(a, t(5_000)).unwrap();
+        assert_eq!(out.resumed, vec![(head, ProcessId(2)), (small, ProcessId(3))]);
+        assert_eq!(e.stats().aged_admissions, 1, "only the head was aged");
+        assert_eq!(e.stats().resumed, 1, "the small entry fit nominally");
+        assert_eq!(e.usage(Resource::Llc), mb(13.0));
+        assert_eq!(e.overflow_usage(Resource::Llc), mb(12.0));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pp_end_drains_aged_heads_too() {
+        // Aging must also fire on the pp_end path, not only on the
+        // explicit age_waitlist timer.
+        let cfg = strict_cfg().with_waitlist_timeout_cycles(1_000);
+        let mut e = ext_cfg(cfg);
+        let a = must_run(&mut e, 0, 0, demand(8.0), t(0));
+        let b = must_run(&mut e, 1, 0, demand(7.0), t(0));
+        let big = match begin(&mut e, 2, 0, demand(12.0), t(10)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        // Ending the 8 MB period at t=5_000 leaves 7 MB used; the
+        // 12 MB head still does not fit nominally, but it expired long
+        // ago, so the end must force-admit it.
+        let out = e.pp_end(a, t(5_000)).unwrap();
+        assert_eq!(out.resumed, vec![(big, ProcessId(2))]);
+        assert_eq!(e.stats().aged_admissions, 1);
+        e.check_invariants().unwrap();
+        e.pp_end(big, t(6_000)).unwrap();
+        e.pp_end(b, t(6_001)).unwrap();
+        assert_eq!(e.usage(Resource::Llc), 0);
+        assert_eq!(e.overflow_usage(Resource::Llc), 0);
     }
 
     #[test]
@@ -619,20 +1095,14 @@ mod tests {
         let mut e = ext(PolicyKind::Strict);
         let bw_cap = e.config().membw_capacity;
         // Fill the LLC completely.
-        let llc_pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(15.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            other => panic!("{other:?}"),
-        };
+        let llc_pp = must_run(&mut e, 0, 0, demand(15.0), t(0));
         // A bandwidth demand still runs: different load-table row.
         let bw = PpDemand {
             resource: Resource::MemBandwidth,
             amount: bw_cap / 2,
             reuse: ReuseLevel::Low,
         };
-        let bw_pp = match e.pp_begin(ProcessId(1), SiteId(1), bw, t(1)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            other => panic!("bandwidth must be independent: {other:?}"),
-        };
+        let bw_pp = must_run(&mut e, 1, 1, bw, t(1));
         assert_eq!(e.usage(Resource::MemBandwidth), bw_cap / 2);
         // Exceeding the bandwidth budget pauses on ITS waitlist only.
         let bw2 = PpDemand {
@@ -641,31 +1111,19 @@ mod tests {
             reuse: ReuseLevel::Low,
         };
         assert!(matches!(
-            e.pp_begin(ProcessId(2), SiteId(2), bw2, t(2)),
+            begin(&mut e, 2, 2, bw2, t(2)),
             BeginOutcome::Pause { .. }
         ));
         assert_eq!(e.waitlist_len(Resource::MemBandwidth), 1);
         assert_eq!(e.waitlist_len(Resource::Llc), 0);
         // Releasing the LLC wakes nobody on the bandwidth list…
-        let out = e.pp_end(llc_pp, t(3));
+        let out = e.pp_end(llc_pp, t(3)).unwrap();
         assert!(out.resumed.is_empty());
         // …but releasing bandwidth does.
-        let out = e.pp_end(bw_pp, t(4));
+        let out = e.pp_end(bw_pp, t(4)).unwrap();
         assert_eq!(out.resumed.len(), 1);
         assert_eq!(out.resumed[0].1, ProcessId(2));
         e.check_invariants().unwrap();
-    }
-
-    #[test]
-    #[should_panic(expected = "not live")]
-    fn double_end_panics() {
-        let mut e = ext(PolicyKind::Strict);
-        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(1.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
-        e.pp_end(pp, t(1));
-        e.pp_end(pp, t(2));
     }
 
     #[test]
@@ -677,12 +1135,9 @@ mod tests {
     #[test]
     fn stats_track_activity() {
         let mut e = ext(PolicyKind::Strict);
-        let pp = match e.pp_begin(ProcessId(0), SiteId(0), demand(14.0), t(0)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            _ => panic!(),
-        };
-        let _ = e.pp_begin(ProcessId(1), SiteId(0), demand(5.0), t(1));
-        let _ = e.pp_end(pp, t(2));
+        let pp = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let _ = begin(&mut e, 1, 0, demand(5.0), t(1));
+        let _ = e.pp_end(pp, t(2)).unwrap();
         let s = e.stats();
         assert_eq!(s.begins, 2);
         assert_eq!(s.ends, 1);
@@ -690,5 +1145,7 @@ mod tests {
         assert_eq!(s.paused, 1);
         assert_eq!(s.resumed, 1);
         assert_eq!(s.max_waitlist, 1);
+        assert_eq!(s.rejected_ends, 0);
+        assert_eq!(s.reclaimed, 0);
     }
 }

@@ -37,6 +37,7 @@
 
 pub mod api;
 pub mod config;
+pub mod error;
 pub mod extension;
 pub mod fastpath;
 pub mod monitor;
@@ -46,7 +47,8 @@ pub mod registry;
 pub mod waitlist;
 
 pub use api::{mb, PpDemand, PpId, Resource, SiteId};
-pub use config::RdaConfig;
-pub use extension::{BeginOutcome, RdaExtension, RdaStats};
+pub use config::{DemandAudit, RdaConfig};
+pub use error::{InvariantKind, RdaError};
+pub use extension::{BeginOutcome, EndOutcome, RdaExtension, RdaStats};
 pub use policy::PolicyKind;
 pub use predicate::Decision;

@@ -7,6 +7,12 @@
 //! active progress periods, updated on every period entry/exit, and
 //! answers the free-space queries the predicate needs.
 
+//! Beyond the paper, each row carries a second, **overflow** bucket:
+//! the summed demand of periods force-admitted by waitlist aging. It is
+//! deliberately excluded from [`ResourceMonitor::usage`] (and therefore
+//! from the scheduling predicate) — degraded admissions must not be
+//! able to wedge the nominal books shut for well-behaved periods.
+
 use crate::api::Resource;
 
 /// One row of the load table.
@@ -14,6 +20,9 @@ use crate::api::Resource;
 struct LoadEntry {
     capacity: u64,
     usage: u64,
+    /// Demand admitted under degraded (aged / force-admitted)
+    /// accounting; tracked separately so it never blocks the predicate.
+    overflow: u64,
     /// Monotone counter bumped on every usage change; the fast path
     /// uses it to detect staleness cheaply.
     epoch: u64,
@@ -32,6 +41,7 @@ impl ResourceMonitor {
         let entry = |capacity| LoadEntry {
             capacity,
             usage: 0,
+            overflow: 0,
             epoch: 0,
         };
         ResourceMonitor {
@@ -59,9 +69,23 @@ impl ResourceMonitor {
         self.entry(r).capacity
     }
 
-    /// Current summed demand of active periods.
+    /// Current summed demand of active periods admitted under nominal
+    /// accounting (excludes the overflow bucket).
     pub fn usage(&self, r: Resource) -> u64 {
         self.entry(r).usage
+    }
+
+    /// Summed demand of periods force-admitted under degraded
+    /// (overflow) accounting.
+    pub fn overflow(&self, r: Resource) -> u64 {
+        self.entry(r).overflow
+    }
+
+    /// Nominal plus overflow demand — the real pressure on the
+    /// hardware, for reporting (the predicate sees only [`Self::usage`]).
+    pub fn total_usage(&self, r: Resource) -> u64 {
+        let e = self.entry(r);
+        e.usage.saturating_add(e.overflow)
     }
 
     /// Unused nominal capacity (saturating at zero when oversubscribed).
@@ -101,6 +125,30 @@ impl ResourceMonitor {
             e.usage
         );
         e.usage -= demand;
+        e.epoch += 1;
+    }
+
+    /// Account a period force-admitted by waitlist aging in the
+    /// degraded overflow bucket.
+    pub fn increment_overflow(&mut self, r: Resource, demand: u64) {
+        let e = self.entry_mut(r);
+        e.overflow += demand;
+        e.epoch += 1;
+    }
+
+    /// Release a completed overflow-admitted period's demand.
+    ///
+    /// Panics if the release exceeds the tracked overflow usage — that
+    /// would mean a double release, which is a scheduler bug (the typed
+    /// error paths in [`crate::extension`] make it unreachable).
+    pub fn decrement_overflow(&mut self, r: Resource, demand: u64) {
+        let e = self.entry_mut(r);
+        assert!(
+            e.overflow >= demand,
+            "resource {r}: releasing {demand} overflow with only {} in the bucket",
+            e.overflow
+        );
+        e.overflow -= demand;
         e.epoch += 1;
     }
 
@@ -180,5 +228,36 @@ mod tests {
         let mut m = mon();
         m.increment_load(Resource::Llc, 10);
         m.decrement_load(Resource::Llc, 11);
+    }
+
+    #[test]
+    fn overflow_bucket_is_invisible_to_the_predicate_view() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 300);
+        m.increment_overflow(Resource::Llc, 900);
+        // Nominal accounting is untouched by degraded admissions…
+        assert_eq!(m.usage(Resource::Llc), 300);
+        assert_eq!(m.remaining(Resource::Llc), 700);
+        // …but the real pressure is visible for reporting.
+        assert_eq!(m.overflow(Resource::Llc), 900);
+        assert_eq!(m.total_usage(Resource::Llc), 1200);
+        m.decrement_overflow(Resource::Llc, 900);
+        assert_eq!(m.total_usage(Resource::Llc), 300);
+    }
+
+    #[test]
+    fn overflow_changes_bump_the_epoch() {
+        let mut m = mon();
+        let e0 = m.epoch(Resource::Llc);
+        m.increment_overflow(Resource::Llc, 5);
+        assert!(m.epoch(Resource::Llc) > e0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_double_release_is_a_bug() {
+        let mut m = mon();
+        m.increment_overflow(Resource::Llc, 10);
+        m.decrement_overflow(Resource::Llc, 11);
     }
 }

@@ -25,10 +25,14 @@ pub struct PpRecord {
     /// When the period was registered.
     pub begun_at: SimTime,
     /// Demand amount actually accounted in the resource monitor (may be
-    /// clamped by the Partitioned policy).
+    /// clamped by the Partitioned policy or the demand auditor).
     pub accounted: u64,
     /// Whether the period is admitted (running) or waitlisted.
     pub admitted: bool,
+    /// Whether the period was force-admitted by waitlist aging and is
+    /// accounted in the monitor's degraded overflow bucket rather than
+    /// the nominal load table.
+    pub overflow: bool,
 }
 
 /// Allocator + table of active progress periods.
@@ -70,9 +74,17 @@ impl PpRegistry {
                 begun_at: now,
                 accounted,
                 admitted,
+                overflow: false,
             },
         );
         id
+    }
+
+    /// Whether `id` was ever allocated by [`Self::register`] — used to
+    /// tell a double end (allocated, since completed) from an end of an
+    /// id that never existed.
+    pub fn was_allocated(&self, id: PpId) -> bool {
+        id.0 < self.next_id
     }
 
     /// Look up a live period.
@@ -112,15 +124,34 @@ impl PpRegistry {
             .filter(move |r| r.process == p && r.admitted)
     }
 
-    /// Sum of accounted demand across admitted periods — must equal the
-    /// resource monitor's usage (checked by the extension's invariant
-    /// test).
+    /// Sum of accounted demand across nominally admitted periods — must
+    /// equal the resource monitor's usage (checked by the extension's
+    /// invariant test).
     pub fn total_accounted(&self, resource: crate::api::Resource) -> u64 {
         self.active
             .values()
-            .filter(|r| r.admitted && r.demand.resource == resource)
+            .filter(|r| r.admitted && !r.overflow && r.demand.resource == resource)
             .map(|r| r.accounted)
             .sum()
+    }
+
+    /// Sum of accounted demand across aged (overflow-admitted) periods —
+    /// must equal the resource monitor's overflow bucket.
+    pub fn total_overflow(&self, resource: crate::api::Resource) -> u64 {
+        self.active
+            .values()
+            .filter(|r| r.admitted && r.overflow && r.demand.resource == resource)
+            .map(|r| r.accounted)
+            .sum()
+    }
+
+    /// Number of live periods waiting (not admitted) on a resource —
+    /// must equal that resource's waitlist length.
+    pub fn waiting_on(&self, resource: crate::api::Resource) -> usize {
+        self.active
+            .values()
+            .filter(|r| !r.admitted && r.demand.resource == resource)
+            .count()
     }
 }
 
@@ -172,5 +203,28 @@ mod tests {
         r.register(ProcessId(3), SiteId(0), demand(), 300, true, SimTime::ZERO);
         assert_eq!(r.total_accounted(Resource::Llc), 400);
         assert_eq!(r.total_accounted(Resource::MemBandwidth), 0);
+        assert_eq!(r.waiting_on(Resource::Llc), 1);
+    }
+
+    #[test]
+    fn overflow_records_are_booked_separately() {
+        let mut r = PpRegistry::new();
+        let a = r.register(ProcessId(1), SiteId(0), demand(), 100, true, SimTime::ZERO);
+        r.register(ProcessId(2), SiteId(0), demand(), 200, true, SimTime::ZERO);
+        r.get_mut(a).unwrap().overflow = true;
+        assert_eq!(r.total_accounted(Resource::Llc), 200);
+        assert_eq!(r.total_overflow(Resource::Llc), 100);
+    }
+
+    #[test]
+    fn allocation_history_distinguishes_unknown_from_completed() {
+        let mut r = PpRegistry::new();
+        let id = r.register(ProcessId(0), SiteId(0), demand(), 1, true, SimTime::ZERO);
+        assert!(r.was_allocated(id));
+        assert!(!r.was_allocated(PpId(id.0 + 1)));
+        r.complete(id);
+        // Completed ids stay "allocated" — a second end is a DoubleEnd,
+        // not an UnknownPp.
+        assert!(r.was_allocated(id));
     }
 }

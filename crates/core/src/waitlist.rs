@@ -6,8 +6,22 @@
 //! waitlist is FIFO per resource: the longest-waiting period is
 //! re-evaluated first, which bounds waiting time and keeps admission
 //! order deterministic.
+//!
+//! Two robustness mechanisms live here beyond the paper:
+//!
+//! * [`Waitlist::push`] rejects a period that is already enqueued with
+//!   a typed [`RdaError::DoubleWaitlist`] instead of a `debug_assert!`
+//!   — in release builds the old path silently enqueued the period
+//!   twice, and its demand was double-released on admission;
+//! * every entry records *when* it was enqueued, so
+//!   [`Waitlist::pop_expired`] can implement **aging**: entries older
+//!   than a configurable timeout are force-admitted by the extension
+//!   under a degraded overflow accounting bucket, making starvation
+//!   impossible by construction.
 
 use crate::api::{PpId, Resource};
+use crate::error::RdaError;
+use rda_simcore::SimTime;
 use std::collections::VecDeque;
 
 /// One waitlisted period.
@@ -17,6 +31,8 @@ pub struct WaitEntry {
     pub pp: PpId,
     /// Its accounted demand (for quick re-evaluation).
     pub accounted: u64,
+    /// When the period was enqueued (for aging).
+    pub enqueued_at: SimTime,
 }
 
 /// FIFO waitlists, one per resource.
@@ -46,14 +62,15 @@ impl Waitlist {
         }
     }
 
-    /// Append a denied period.
-    pub fn push(&mut self, r: Resource, entry: WaitEntry) {
-        debug_assert!(
-            !self.queue(r).iter().any(|e| e.pp == entry.pp),
-            "{} double-waitlisted",
-            entry.pp
-        );
+    /// Append a denied period. Rejects a period that is already
+    /// enqueued — admitting the duplicate would double-release its
+    /// demand later.
+    pub fn push(&mut self, r: Resource, entry: WaitEntry) -> Result<(), RdaError> {
+        if self.queue(r).iter().any(|e| e.pp == entry.pp) {
+            return Err(RdaError::DoubleWaitlist(entry.pp));
+        }
         self.queue_mut(r).push_back(entry);
+        Ok(())
     }
 
     /// The longest-waiting period, without removing it.
@@ -64,6 +81,23 @@ impl Waitlist {
     /// Remove and return the longest-waiting period.
     pub fn pop(&mut self, r: Resource) -> Option<WaitEntry> {
         self.queue_mut(r).pop_front()
+    }
+
+    /// Remove and return the longest-waiting period *if* it has waited
+    /// `timeout` cycles or longer by `now`. Entries are enqueued in
+    /// time order, so repeated calls drain exactly the expired prefix.
+    pub fn pop_expired(&mut self, r: Resource, now: SimTime, timeout: u64) -> Option<WaitEntry> {
+        let head = self.queue(r).front()?;
+        if now.since(head.enqueued_at).cycles() >= timeout {
+            self.queue_mut(r).pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Enqueue time of the longest-waiting period (the next to expire).
+    pub fn oldest(&self, r: Resource) -> Option<SimTime> {
+        self.queue(r).front().map(|e| e.enqueued_at)
     }
 
     /// Remove a specific period (e.g. its process was killed).
@@ -98,18 +132,23 @@ mod tests {
     use super::*;
 
     fn e(id: u64, demand: u64) -> WaitEntry {
+        e_at(id, demand, 0)
+    }
+
+    fn e_at(id: u64, demand: u64, cycles: u64) -> WaitEntry {
         WaitEntry {
             pp: PpId(id),
             accounted: demand,
+            enqueued_at: SimTime::from_cycles(cycles),
         }
     }
 
     #[test]
     fn fifo_order_per_resource() {
         let mut w = Waitlist::new();
-        w.push(Resource::Llc, e(1, 10));
-        w.push(Resource::Llc, e(2, 20));
-        w.push(Resource::MemBandwidth, e(3, 30));
+        w.push(Resource::Llc, e(1, 10)).unwrap();
+        w.push(Resource::Llc, e(2, 20)).unwrap();
+        w.push(Resource::MemBandwidth, e(3, 30)).unwrap();
         assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(1));
         assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(2));
         assert_eq!(w.pop(Resource::Llc), None);
@@ -117,9 +156,23 @@ mod tests {
     }
 
     #[test]
+    fn double_push_is_a_typed_error() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e(1, 10)).unwrap();
+        assert_eq!(
+            w.push(Resource::Llc, e(1, 10)),
+            Err(RdaError::DoubleWaitlist(PpId(1)))
+        );
+        // The rejected duplicate must not have been enqueued.
+        assert_eq!(w.len(Resource::Llc), 1);
+        // The same id on the *other* resource is a distinct queue.
+        w.push(Resource::MemBandwidth, e(1, 10)).unwrap();
+    }
+
+    #[test]
     fn front_does_not_remove() {
         let mut w = Waitlist::new();
-        w.push(Resource::Llc, e(1, 10));
+        w.push(Resource::Llc, e(1, 10)).unwrap();
         assert_eq!(w.front(Resource::Llc).unwrap().pp, PpId(1));
         assert_eq!(w.len(Resource::Llc), 1);
     }
@@ -127,9 +180,9 @@ mod tests {
     #[test]
     fn cancel_mid_queue() {
         let mut w = Waitlist::new();
-        w.push(Resource::Llc, e(1, 10));
-        w.push(Resource::Llc, e(2, 20));
-        w.push(Resource::Llc, e(3, 30));
+        w.push(Resource::Llc, e(1, 10)).unwrap();
+        w.push(Resource::Llc, e(2, 20)).unwrap();
+        w.push(Resource::Llc, e(3, 30)).unwrap();
         assert!(w.cancel(Resource::Llc, PpId(2)));
         assert!(!w.cancel(Resource::Llc, PpId(2)));
         let order: Vec<PpId> = w.iter(Resource::Llc).map(|x| x.pp).collect();
@@ -140,59 +193,34 @@ mod tests {
     fn emptiness_spans_resources() {
         let mut w = Waitlist::new();
         assert!(w.is_empty());
-        w.push(Resource::MemBandwidth, e(9, 1));
+        w.push(Resource::MemBandwidth, e(9, 1)).unwrap();
         assert!(!w.is_empty());
         w.pop(Resource::MemBandwidth);
         assert!(w.is_empty());
     }
 
-    /// Starvation freedom: a period whose demand alone exceeds LLC
-    /// capacity can never pass the predicate, so FIFO waiting would
-    /// park it forever. The oversized-demand guard must admit it even
-    /// while the cache is fully subscribed — and the system must still
-    /// drain back to idle afterwards.
     #[test]
-    fn oversized_demand_is_never_starved() {
-        use crate::api::{mb, PpDemand};
-        use crate::config::RdaConfig;
-        use crate::extension::{BeginOutcome, RdaExtension};
-        use crate::policy::PolicyKind;
-        use rda_machine::{MachineConfig, ReuseLevel};
-        use rda_sched::ProcessId;
-        use rda_simcore::SimTime;
+    fn expiry_drains_only_the_aged_prefix() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 0)).unwrap();
+        w.push(Resource::Llc, e_at(2, 10, 500)).unwrap();
+        w.push(Resource::Llc, e_at(3, 10, 900)).unwrap();
+        let now = SimTime::from_cycles(1000);
+        // Timeout 400: entries enqueued at 0 and 500 have expired.
+        assert_eq!(w.pop_expired(Resource::Llc, now, 400).unwrap().pp, PpId(1));
+        assert_eq!(w.pop_expired(Resource::Llc, now, 400).unwrap().pp, PpId(2));
+        assert_eq!(w.pop_expired(Resource::Llc, now, 400), None);
+        assert_eq!(w.len(Resource::Llc), 1);
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(900)));
+    }
 
-        let cfg = RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), PolicyKind::Strict);
-        let capacity = cfg.llc_capacity;
-        let mut ext = RdaExtension::new(cfg);
-        let t = SimTime::from_cycles;
-
-        // Saturate the LLC with three periods.
-        let mut small = Vec::new();
-        for p in 0..3 {
-            let d = PpDemand::llc(capacity / 3, ReuseLevel::High);
-            match ext.pp_begin(ProcessId(p), crate::api::SiteId(0), d, t(p as u64)) {
-                BeginOutcome::Run { pp, .. } => small.push(pp),
-                other => panic!("filler must run, got {other:?}"),
-            }
-        }
-        // A demand bigger than the whole cache arrives while it is
-        // full. Waitlisting it could never end (it will not fit even on
-        // an idle cache), so it must be admitted immediately.
-        let huge = PpDemand::llc(capacity + mb(5.0), ReuseLevel::High);
-        let huge_pp = match ext.pp_begin(ProcessId(9), crate::api::SiteId(1), huge, t(10)) {
-            BeginOutcome::Run { pp, .. } => pp,
-            other => panic!("oversized demand starved: {other:?}"),
-        };
-        assert_eq!(ext.stats().oversized_admits, 1);
-        ext.check_invariants().unwrap();
-
-        // Everything still drains to idle.
-        ext.pp_end(huge_pp, t(20));
-        for pp in small {
-            ext.pp_end(pp, t(30));
-        }
-        assert_eq!(ext.usage(Resource::Llc), 0);
-        assert_eq!(ext.waitlist_len(Resource::Llc), 0);
-        ext.check_invariants().unwrap();
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 100)).unwrap();
+        // Exactly `timeout` cycles of waiting counts as expired.
+        assert!(w
+            .pop_expired(Resource::Llc, SimTime::from_cycles(300), 200)
+            .is_some());
     }
 }

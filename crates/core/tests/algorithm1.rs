@@ -64,7 +64,10 @@ fn drive(
             } => {
                 let amount = mb(tenth_mb as f64 / 10.0).min(limit.saturating_sub(1));
                 let demand = PpDemand::llc(amount, ReuseLevel::High);
-                match ext.pp_begin(ProcessId(process as u32), SiteId(site as u32), demand, now) {
+                let out = ext
+                    .pp_begin(ProcessId(process as u32), SiteId(site as u32), demand, now)
+                    .expect("default Trust audit never rejects");
+                match out {
                     BeginOutcome::Run { pp, .. } => admitted.push(pp),
                     BeginOutcome::Pause { pp } => waiting.push((pp, amount)),
                     BeginOutcome::Bypass => unreachable!("gating policies only"),
@@ -78,7 +81,7 @@ fn drive(
                     _ => None,
                 };
                 if let Some(pp) = ended {
-                    let out = ext.pp_end(pp, now);
+                    let out = ext.pp_end(pp, now).expect("ending a live admitted period");
                     for &(pp, _) in &out.resumed {
                         let pos = waiting
                             .iter()

@@ -72,12 +72,13 @@ proptest! {
                             reuse_of(reuse),
                         );
                         let accounted = policy.effective_demand(demand.amount, capacity);
-                        match ext.pp_begin(
+                        let out = ext.pp_begin(
                             ProcessId(process as u32),
                             SiteId(site as u32),
                             demand,
                             SimTime::from_cycles(clock),
-                        ) {
+                        ).expect("default Trust audit never rejects");
+                        match out {
                             BeginOutcome::Run { pp, .. } => {
                                 admitted.push(pp);
                                 // Admission may only exceed the policy
@@ -98,13 +99,15 @@ proptest! {
                     Op::EndOldest => {
                         if !admitted.is_empty() {
                             let pp = admitted.remove(0);
-                            let out = ext.pp_end(pp, SimTime::from_cycles(clock));
+                            let out = ext.pp_end(pp, SimTime::from_cycles(clock))
+                                .expect("ending a live admitted period");
                             admitted.extend(out.resumed.iter().map(|&(pp, _)| pp));
                         }
                     }
                     Op::EndNewest => {
                         if let Some(pp) = admitted.pop() {
-                            let out = ext.pp_end(pp, SimTime::from_cycles(clock));
+                            let out = ext.pp_end(pp, SimTime::from_cycles(clock))
+                                .expect("ending a live admitted period");
                             admitted.extend(out.resumed.iter().map(|&(pp, _)| pp));
                         }
                     }
@@ -115,7 +118,8 @@ proptest! {
             // Drain everything; the system must return to idle.
             while let Some(pp) = admitted.pop() {
                 clock += 1_000;
-                let out = ext.pp_end(pp, SimTime::from_cycles(clock));
+                let out = ext.pp_end(pp, SimTime::from_cycles(clock))
+                    .expect("ending a live admitted period");
                 admitted.extend(out.resumed.iter().map(|&(pp, _)| pp));
             }
             prop_assert_eq!(ext.usage(Resource::Llc), 0, "{}", policy);
@@ -148,12 +152,13 @@ proptest! {
                 match *op {
                     Op::Begin { process, site, tenth_mb, reuse } => {
                         let demand = PpDemand::llc(mb(tenth_mb as f64 / 10.0), reuse_of(reuse));
-                        match ext.pp_begin(
+                        let out = ext.pp_begin(
                             ProcessId(process as u32),
                             SiteId(site as u32),
                             demand,
                             SimTime::from_cycles(clock),
-                        ) {
+                        ).expect("default Trust audit never rejects");
+                        match out {
                             BeginOutcome::Run { pp, .. } => {
                                 log.push(true);
                                 admitted.push(pp);
@@ -164,12 +169,14 @@ proptest! {
                     }
                     Op::EndOldest if !admitted.is_empty() => {
                         let pp = admitted.remove(0);
-                        let out = ext.pp_end(pp, SimTime::from_cycles(clock));
+                        let out = ext.pp_end(pp, SimTime::from_cycles(clock))
+                            .expect("ending a live admitted period");
                         admitted.extend(out.resumed.iter().map(|&(pp, _)| pp));
                     }
                     Op::EndNewest => {
                         if let Some(pp) = admitted.pop() {
-                            let out = ext.pp_end(pp, SimTime::from_cycles(clock));
+                            let out = ext.pp_end(pp, SimTime::from_cycles(clock))
+                                .expect("ending a live admitted period");
                             admitted.extend(out.resumed.iter().map(|&(pp, _)| pp));
                         }
                     }

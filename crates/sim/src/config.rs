@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
-use rda_core::PolicyKind;
+use crate::faults::FaultConfig;
+use rda_core::{DemandAudit, PolicyKind};
 use rda_machine::{EnergyModel, MachineConfig};
 use rda_machine::perf::PerfParams;
 use rda_simcore::SimDuration;
@@ -29,6 +30,20 @@ pub struct SimConfig {
     /// (`SplitMix64::derive_stream`) so replicated runs observe
     /// independent jitter while staying exactly reproducible.
     pub jitter_seed: u64,
+    /// Check the RDA extension's internal invariants after every
+    /// simulation step (not just at the end); a violation aborts the
+    /// run with a typed diagnostic. On by default — the checks are
+    /// read-only and O(live periods).
+    pub paranoid: bool,
+    /// Demand-audit mode forwarded to the RDA extension (`Trust` is the
+    /// paper's behaviour).
+    pub demand_audit: DemandAudit,
+    /// Waitlist-aging timeout forwarded to the RDA extension (`None`
+    /// disables aging, the paper's behaviour).
+    pub waitlist_timeout: Option<SimDuration>,
+    /// Fault injection: when set, a deterministic [`crate::faults::FaultPlan`]
+    /// is expanded from `jitter_seed` and applied to the workload.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Historical default jitter seed; kept so single-run behaviour (and
@@ -50,6 +65,10 @@ impl SimConfig {
             max_sim_seconds: 1000.0,
             sample_every: None,
             jitter_seed: DEFAULT_JITTER_SEED,
+            paranoid: true,
+            demand_audit: DemandAudit::Trust,
+            waitlist_timeout: None,
+            faults: None,
         }
     }
 
@@ -64,6 +83,31 @@ impl SimConfig {
         self.jitter_seed = seed;
         self
     }
+
+    /// Enable or disable per-step invariant checking.
+    pub fn with_paranoid(mut self, on: bool) -> Self {
+        self.paranoid = on;
+        self
+    }
+
+    /// Use the given demand-audit mode.
+    pub fn with_demand_audit(mut self, audit: DemandAudit) -> Self {
+        self.demand_audit = audit;
+        self
+    }
+
+    /// Enable waitlist aging with the given timeout in milliseconds.
+    pub fn with_waitlist_timeout_ms(mut self, ms: f64) -> Self {
+        self.waitlist_timeout = Some(SimDuration::from_micros(ms * 1e3, self.machine.freq_hz));
+        self
+    }
+
+    /// Inject faults per the given configuration (see [`crate::faults`];
+    /// consider enabling waitlist aging alongside).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -76,5 +120,26 @@ mod tests {
         assert!(c.machine.validate().is_ok());
         assert!(c.rebalance_every.cycles() > 0);
         assert_eq!(c.policy, PolicyKind::Strict);
+        // Robustness defaults: paranoid checking on (read-only, cannot
+        // change behaviour), everything else the paper's behaviour.
+        assert!(c.paranoid);
+        assert_eq!(c.demand_audit, DemandAudit::Trust);
+        assert_eq!(c.waitlist_timeout, None);
+        assert_eq!(c.faults, None);
+    }
+
+    #[test]
+    fn robustness_builders_compose() {
+        let c = SimConfig::paper_default(PolicyKind::Strict)
+            .with_demand_audit(DemandAudit::Clamp)
+            .with_waitlist_timeout_ms(5.0)
+            .with_faults(FaultConfig::uniform(0.1))
+            .with_paranoid(false);
+        assert_eq!(c.demand_audit, DemandAudit::Clamp);
+        let timeout = c.waitlist_timeout.expect("timeout set");
+        // 5 ms at 1.9 GHz.
+        assert_eq!(timeout.cycles(), (5e-3 * c.machine.freq_hz) as u64);
+        assert!(c.faults.is_some());
+        assert!(!c.paranoid);
     }
 }

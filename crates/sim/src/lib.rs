@@ -24,11 +24,13 @@
 pub mod concurrency;
 pub mod config;
 pub mod experiment;
+pub mod faults;
 pub mod overhead;
 pub mod runner;
 pub mod system;
 
 pub use config::SimConfig;
+pub use faults::{FaultConfig, FaultPlan, PhaseFault};
 pub use experiment::{run_workload, PolicyRun};
 pub use runner::{
     run_sweep, run_sweep_configured, RunConfig, RunError, RunRecord, RunnerOptions, Shard,

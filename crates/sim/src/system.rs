@@ -15,7 +15,8 @@
 //! tracking overhead and Figure 1's reload effect live.
 
 use crate::config::SimConfig;
-use rda_core::{BeginOutcome, RdaConfig, RdaExtension, RdaStats};
+use crate::faults::FaultPlan;
+use rda_core::{BeginOutcome, PpDemand, RdaConfig, RdaExtension, RdaStats};
 use rda_machine::PerfModel;
 use rda_metrics::{EnergyBreakdown, Measurement, PerfCounters};
 use rda_sched::{CfsScheduler, ProcessId, SchedConfig, SchedStats, TaskId};
@@ -107,6 +108,10 @@ impl RunResult {
             self.rda.fast_ends,
             self.rda.max_waitlist,
             self.rda.oversized_admits,
+            self.rda.reclaimed,
+            self.rda.clamped,
+            self.rda.aged_admissions,
+            self.rda.rejected_ends,
         ] {
             h.write_u64(v);
         }
@@ -191,6 +196,8 @@ pub struct SystemSim {
     jitter: SplitMix64,
     next_sample: SimTime,
     timeline: Vec<TimelineSample>,
+    /// Pre-expanded fault schedule (empty unless `SimConfig::faults`).
+    faults: FaultPlan,
 }
 
 impl SystemSim {
@@ -199,7 +206,19 @@ impl SystemSim {
         cfg.machine.validate().expect("invalid machine config");
         let perf = PerfModel::with_params(cfg.machine.clone(), cfg.perf_params.clone());
         let mut sched = CfsScheduler::new(SchedConfig::from_machine(&cfg.machine));
-        let rda = RdaExtension::new(RdaConfig::for_machine(&cfg.machine, cfg.policy));
+        let mut rda_cfg =
+            RdaConfig::for_machine(&cfg.machine, cfg.policy).with_demand_audit(cfg.demand_audit);
+        if let Some(timeout) = cfg.waitlist_timeout {
+            rda_cfg = rda_cfg.with_waitlist_timeout_cycles(timeout.cycles());
+        }
+        let rda = RdaExtension::new(rda_cfg);
+        // The fault plan is a pure function of (jitter_seed, workload
+        // shape, fault config), so faulty sweeps stay bit-identical
+        // across thread counts just like clean ones.
+        let faults = match &cfg.faults {
+            Some(fc) => FaultPlan::generate(spec, fc, cfg.jitter_seed),
+            None => FaultPlan::none(),
+        };
 
         let mut procs = Vec::with_capacity(spec.processes.len());
         let mut threads = Vec::new();
@@ -251,6 +270,7 @@ impl SystemSim {
                 .sample_every
                 .map_or(SimTime::MAX, |d| SimTime::ZERO + d),
             timeline: Vec::new(),
+            faults,
             cfg,
         };
         for p in 0..sim.procs.len() {
@@ -295,20 +315,41 @@ impl SystemSim {
         }
         self.procs[p].done_threads = 0;
 
+        let k = self.procs[p].phase;
         match &phase.pp {
             Some(pp) if self.cfg.policy.is_gating() => {
                 let t0 = self.procs[p].tasks[0].0 as usize;
-                let outcome =
-                    self.rda
-                        .pp_begin(ProcessId(p as u32), pp.site, pp.demand, self.now);
+                // Demand lie: the declaration is scaled, the actual
+                // cache profile (and therefore the machine model's
+                // behaviour) is not.
+                let factor = self.faults.phase(p, k).demand_factor;
+                let demand = if factor == 1.0 {
+                    pp.demand
+                } else {
+                    PpDemand {
+                        amount: ((pp.demand.amount as f64 * factor) as u64).max(1),
+                        ..pp.demand
+                    }
+                };
+                let outcome = self
+                    .rda
+                    .pp_begin(ProcessId(p as u32), pp.site, demand, self.now);
                 match outcome {
-                    BeginOutcome::Bypass => self.wake_proc(p),
-                    BeginOutcome::Run { pp, fast } => {
+                    Err(_) => {
+                        // The demand auditor refused to track the
+                        // period (DemandAudit::Reject): the process
+                        // runs directly on the OS, untracked — the
+                        // paper's escape hatch.
+                        self.threads[t0].overhead += self.call_cost(false);
+                        self.wake_proc(p);
+                    }
+                    Ok(BeginOutcome::Bypass) => self.wake_proc(p),
+                    Ok(BeginOutcome::Run { pp, fast }) => {
                         self.procs[p].pp = Some(pp);
                         self.threads[t0].overhead += self.call_cost(fast);
                         self.wake_proc(p);
                     }
-                    BeginOutcome::Pause { pp } => {
+                    Ok(BeginOutcome::Pause { pp }) => {
                         // The process pauses on the kernel wait queue
                         // until a completing period releases capacity
                         // (§3.1). Its whole thread group stays blocked
@@ -316,6 +357,11 @@ impl SystemSim {
                         self.procs[p].pp = Some(pp);
                         self.threads[t0].overhead += self.call_cost(false);
                         self.counters.waitlisted += 1;
+                        // Mid-wait kill: the process dies while
+                        // waitlisted; its entry must not outlive it.
+                        if self.faults.kill_at(p) == Some(k) {
+                            self.kill_proc(p);
+                        }
                     }
                 }
             }
@@ -332,6 +378,21 @@ impl SystemSim {
             self.sched.finish(tid);
         }
         self.unfinished -= 1;
+        // Exit-time reaping: release every period the process still
+        // holds (leaked ends, mid-period kills, a waitlisted entry) and
+        // wake anything the reclaimed capacity admits. A clean exit
+        // holds nothing and this is a no-op.
+        self.procs[p].pp = None;
+        let resumed = self.rda.process_exit(ProcessId(p as u32), self.now);
+        for (_pp, pid) in resumed {
+            self.wake_proc(pid.0 as usize);
+        }
+    }
+
+    /// Kill process `p` right now: no `pp_end`, no remaining phases —
+    /// only the exit reaper in [`Self::finish_proc`] cleans up.
+    fn kill_proc(&mut self, p: usize) {
+        self.finish_proc(p);
     }
 
     /// A thread completed its phase quota: barrier-block it; when the
@@ -346,11 +407,36 @@ impl SystemSim {
     }
 
     fn phase_end(&mut self, p: usize) {
+        let k = self.procs[p].phase;
+        // Mid-period kill: the process dies at the end of its phase
+        // work, holding its open period — it never reaches `pp_end`.
+        if self.faults.kill_at(p) == Some(k) {
+            self.kill_proc(p);
+            return;
+        }
+        let fault = self.faults.phase(p, k);
         let resumed = if let Some(pp) = self.procs[p].pp.take() {
-            let t0 = self.procs[p].tasks[0].0 as usize;
-            let out = self.rda.pp_end(pp, self.now);
-            self.threads[t0].overhead += self.call_cost(out.fast);
-            out.resumed
+            if fault.leak_end {
+                // Leaked end: the period stays in the registry (and its
+                // demand in the load table) until process exit reclaims
+                // it.
+                Vec::new()
+            } else {
+                let t0 = self.procs[p].tasks[0].0 as usize;
+                let out = self
+                    .rda
+                    .pp_end(pp, self.now)
+                    .expect("simulator bug: honest pp_end of a live period rejected");
+                self.threads[t0].overhead += self.call_cost(out.fast);
+                if fault.double_end {
+                    // The buggy second end must come back as a typed
+                    // rejection, leaving the books untouched.
+                    let second = self.rda.pp_end(pp, self.now);
+                    debug_assert_eq!(second, Err(rda_core::RdaError::DoubleEnd(pp)));
+                    self.threads[t0].overhead += self.call_cost(false);
+                }
+                out.resumed
+            }
         } else {
             Vec::new()
         };
@@ -402,6 +488,31 @@ impl SystemSim {
         self.last_on_core[core] = Some(tid);
     }
 
+    /// The earliest instant at which a waitlisted period expires (only
+    /// when aging is configured and something is waiting).
+    fn aging_deadline(&self) -> Option<SimTime> {
+        let timeout = self.cfg.waitlist_timeout?;
+        let mut best: Option<SimTime> = None;
+        for r in rda_core::Resource::ALL {
+            if let Some(enqueued) = self.rda.oldest_wait(r) {
+                let deadline = enqueued + timeout;
+                best = Some(best.map_or(deadline, |b: SimTime| b.min(deadline)));
+            }
+        }
+        best
+    }
+
+    /// Force-admit expired waitlist entries and wake their processes.
+    fn apply_aging(&mut self) {
+        if self.cfg.waitlist_timeout.is_none() {
+            return;
+        }
+        let resumed = self.rda.age_waitlist(self.now);
+        for (_pp, pid) in resumed {
+            self.wake_proc(pid.0 as usize);
+        }
+    }
+
     fn take_sample(&mut self) {
         let running: Vec<TaskId> = self.sched.running_tasks().map(|(_, t)| t).collect();
         let mut seen: Vec<usize> = Vec::new();
@@ -438,7 +549,23 @@ impl SystemSim {
             self.fill_cores();
             let running: Vec<(usize, TaskId)> = self.sched.running_tasks().collect();
             if running.is_empty() {
-                return Err("no runnable threads: scheduling deadlock".into());
+                // Every unfinished process is paused on a waitlist. The
+                // paper's design would deadlock here; with aging the
+                // machine sits idle until the oldest entry expires and
+                // is force-admitted.
+                let Some(deadline) = self.aging_deadline() else {
+                    return Err("no runnable threads: scheduling deadlock".into());
+                };
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                self.apply_aging();
+                if self.cfg.paranoid {
+                    self.rda
+                        .check_invariants()
+                        .map_err(|e| format!("RDA invariant violated: {e}"))?;
+                }
+                continue;
             }
 
             // --- rates for the co-running set ---
@@ -468,6 +595,9 @@ impl SystemSim {
             let mut dt = self.next_rebalance.since(self.now).cycles().max(1);
             if self.next_sample != SimTime::MAX {
                 dt = dt.min(self.next_sample.since(self.now).cycles().max(1));
+            }
+            if let Some(deadline) = self.aging_deadline() {
+                dt = dt.min(deadline.since(self.now).cycles().max(1));
             }
             for (i, &(core, tid)) in running.iter().enumerate() {
                 let th = &self.threads[tid.0 as usize];
@@ -540,6 +670,12 @@ impl SystemSim {
                 self.take_sample();
                 // `next_sample` is finite only when sampling is on.
                 self.next_sample = self.now + self.cfg.sample_every.unwrap();
+            }
+            self.apply_aging();
+            if self.cfg.paranoid {
+                self.rda
+                    .check_invariants()
+                    .map_err(|e| format!("RDA invariant violated: {e}"))?;
             }
         }
 
@@ -767,5 +903,194 @@ mod tests {
         let r = run(rda_core::PolicyKind::Strict, &spec);
         assert_eq!(r.rda.oversized_admits, 2);
         assert!(r.measurement.wall_secs > 0.0);
+    }
+
+    // --- fault model ---
+
+    use crate::faults::FaultConfig;
+
+    fn faulty_cfg(rate: f64) -> SimConfig {
+        SimConfig::paper_default(rda_core::PolicyKind::Strict)
+            .with_demand_audit(rda_core::DemandAudit::Clamp)
+            .with_waitlist_timeout_ms(5.0)
+            .with_faults(FaultConfig::uniform(rate))
+    }
+
+    /// Run a faulty workload and assert full recovery: the run
+    /// completes, and at the end both accounting buckets are empty on
+    /// both resources, the waitlists are empty, and no period outlives
+    /// its process.
+    fn assert_recovers(cfg: SimConfig, spec: &WorkloadSpec) -> RunResult {
+        let mut sim = SystemSim::new(cfg, spec);
+        let r = sim.run().expect("faulty run must still complete");
+        for res in rda_core::Resource::ALL {
+            assert_eq!(sim.rda().usage(res), 0, "{res}: nominal demand leaked");
+            assert_eq!(sim.rda().overflow_usage(res), 0, "{res}: overflow leaked");
+            assert_eq!(sim.rda().waitlist_len(res), 0, "{res}: waiter leaked");
+        }
+        assert_eq!(sim.rda().live_periods(), 0, "period outlived its process");
+        r
+    }
+
+    #[test]
+    fn leaked_ends_are_reclaimed_at_exit() {
+        let spec = tiny_workload(6, 1, 6.0, 10_000_000);
+        let mut cfg = faulty_cfg(0.0);
+        cfg.faults = Some(FaultConfig {
+            leak_end_rate: 1.0, // every phase leaks its end
+            ..FaultConfig::none()
+        });
+        let r = assert_recovers(cfg, &spec);
+        assert_eq!(r.rda.ends, 0, "every end was leaked");
+        assert_eq!(r.rda.reclaimed, 6, "one reclaim per leaked period");
+    }
+
+    #[test]
+    fn double_ends_are_rejected_not_double_released() {
+        let spec = tiny_workload(6, 1, 6.0, 10_000_000);
+        let mut cfg = faulty_cfg(0.0);
+        cfg.faults = Some(FaultConfig {
+            double_end_rate: 1.0,
+            ..FaultConfig::none()
+        });
+        let r = assert_recovers(cfg, &spec);
+        assert_eq!(r.rda.rejected_ends, 6, "each second end typed-rejected");
+        assert_eq!(r.rda.ends, 12, "six honest + six buggy calls");
+    }
+
+    #[test]
+    fn kills_release_held_periods() {
+        let spec = tiny_workload(8, 2, 6.0, 10_000_000);
+        let mut cfg = faulty_cfg(0.0);
+        cfg.faults = Some(FaultConfig {
+            kill_rate: 0.5,
+            ..FaultConfig::none()
+        });
+        let r = assert_recovers(cfg, &spec);
+        assert!(r.rda.reclaimed > 0, "some process died holding a period");
+    }
+
+    #[test]
+    fn lying_demands_are_clamped_under_audit() {
+        let spec = tiny_workload(6, 1, 6.0, 10_000_000);
+        let mut cfg = faulty_cfg(0.0);
+        cfg.faults = Some(FaultConfig {
+            lie_rate: 1.0,
+            lie_factor_range: (10.0, 20.0), // wild over-declaration
+            ..FaultConfig::none()
+        });
+        let r = assert_recovers(cfg, &spec);
+        assert_eq!(r.rda.clamped, 6, "every inflated demand clamped");
+        assert_eq!(r.rda.oversized_admits, 0, "clamp pre-empts the guard");
+    }
+
+    #[test]
+    fn combined_faults_recover_under_every_gating_policy() {
+        let spec = tiny_workload(8, 2, 5.0, 8_000_000);
+        for policy in [
+            rda_core::PolicyKind::Strict,
+            rda_core::PolicyKind::compromise_default(),
+        ] {
+            let cfg = SimConfig::paper_default(policy)
+                .with_demand_audit(rda_core::DemandAudit::Clamp)
+                .with_waitlist_timeout_ms(5.0)
+                .with_faults(FaultConfig::uniform(0.3));
+            assert_recovers(cfg, &spec);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let spec = tiny_workload(8, 2, 5.0, 8_000_000);
+        let a = SystemSim::new(faulty_cfg(0.25), &spec).run().unwrap();
+        let b = SystemSim::new(faulty_cfg(0.25), &spec).run().unwrap();
+        assert_eq!(a.digest(), b.digest());
+        // A different seed produces a different fault plan.
+        let c = SystemSim::new(faulty_cfg(0.25).with_jitter_seed(99), &spec)
+            .run()
+            .unwrap();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn aging_rescues_an_otherwise_deadlocked_workload() {
+        // One process leaks its period (holding 14 of 15 MB) and then a
+        // second 14 MB process arrives: it can never be admitted
+        // nominally while the leaker lives. Without aging this
+        // deadlocks; with it, the waiter is force-admitted.
+        let spec = WorkloadSpec {
+            name: "leak-deadlock".into(),
+            processes: vec![
+                ProcessProgram {
+                    threads: 1,
+                    phases: vec![
+                        Phase::tracked(
+                            "leaky",
+                            40_000_000,
+                            mb(14.0),
+                            ReuseLevel::High,
+                            rda_core::SiteId(0),
+                        ),
+                        Phase::tracked(
+                            "more",
+                            40_000_000,
+                            mb(14.0),
+                            ReuseLevel::High,
+                            rda_core::SiteId(1),
+                        ),
+                    ],
+                },
+                ProcessProgram {
+                    threads: 1,
+                    phases: vec![Phase::tracked(
+                        "victim",
+                        10_000_000,
+                        mb(14.0),
+                        ReuseLevel::High,
+                        rda_core::SiteId(2),
+                    )],
+                },
+            ],
+        };
+        // Every phase leaks its end: process 0 leaks 14 MB, then
+        // waitlists itself behind its own leak for phase two, and the
+        // victim waitlists behind both — nothing is runnable until
+        // aging fires.
+        let cfg = SimConfig::paper_default(rda_core::PolicyKind::Strict)
+            .with_waitlist_timeout_ms(2.0)
+            .with_faults(FaultConfig {
+                leak_end_rate: 1.0,
+                ..FaultConfig::none()
+            });
+        let mut sim = SystemSim::new(cfg, &spec);
+        let r = sim.run().expect("aging must break the leak deadlock");
+        assert!(
+            r.rda.aged_admissions > 0,
+            "the waiter was rescued by aging"
+        );
+        assert_eq!(sim.rda().live_periods(), 0);
+        assert_eq!(sim.rda().usage(rda_core::Resource::Llc), 0);
+        assert_eq!(sim.rda().overflow_usage(rda_core::Resource::Llc), 0);
+    }
+
+    #[test]
+    fn clean_runs_are_unaffected_by_the_fault_machinery() {
+        // A fault config with all-zero rates must reproduce the exact
+        // digest of a run with no fault config at all.
+        let spec = tiny_workload(6, 2, 4.0, 10_000_000);
+        let plain = SystemSim::new(
+            SimConfig::paper_default(rda_core::PolicyKind::Strict),
+            &spec,
+        )
+        .run()
+        .unwrap();
+        let zeroed = SystemSim::new(
+            SimConfig::paper_default(rda_core::PolicyKind::Strict)
+                .with_faults(FaultConfig::none()),
+            &spec,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(plain.digest(), zeroed.digest());
     }
 }

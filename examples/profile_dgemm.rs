@@ -79,9 +79,10 @@ fn main() {
             a.site
         );
         match rda.pp_begin(ProcessId(0), a.site, a.demand(), SimTime::ZERO) {
-            BeginOutcome::Run { pp, .. } => {
+            Ok(BeginOutcome::Run { pp, .. }) => {
                 println!("  scheduler verdict: RUN ({pp})");
-                rda.pp_end(pp, SimTime::from_cycles(1000));
+                rda.pp_end(pp, SimTime::from_cycles(1000))
+                    .expect("ending a live admitted period");
             }
             other => println!("  scheduler verdict: {other:?}"),
         }

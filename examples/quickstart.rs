@@ -26,7 +26,7 @@ fn main() {
     let demand = PpDemand::llc(mb(6.3), ReuseLevel::High);
     let t = |c| SimTime::from_cycles(c);
 
-    let dgemm_pp = match rda.pp_begin(ProcessId(0), SiteId(0), demand, t(0)) {
+    let dgemm_pp = match rda.pp_begin(ProcessId(0), SiteId(0), demand, t(0)).unwrap() {
         BeginOutcome::Run { pp, .. } => {
             println!("P0: pp_begin(LLC, MB(6.3), HIGH) → RUN   ({pp})");
             pp
@@ -36,7 +36,7 @@ fn main() {
     println!("    LLC load is now {:.1} MB", rda.usage(Resource::Llc) as f64 / 1e6 * 0.95367);
 
     // A second process wants 7 MB — still fits (6.3 + 7 < 15).
-    let p1 = match rda.pp_begin(ProcessId(1), SiteId(0), PpDemand::llc(mb(7.0), ReuseLevel::High), t(10)) {
+    let p1 = match rda.pp_begin(ProcessId(1), SiteId(0), PpDemand::llc(mb(7.0), ReuseLevel::High), t(10)).unwrap() {
         BeginOutcome::Run { pp, .. } => {
             println!("P1: pp_begin(LLC, MB(7.0), HIGH) → RUN   ({pp})");
             pp
@@ -45,7 +45,7 @@ fn main() {
     };
 
     // A third wants 5 MB — 6.3 + 7 + 5 > 15.36: the predicate pauses it.
-    match rda.pp_begin(ProcessId(2), SiteId(0), PpDemand::llc(mb(5.0), ReuseLevel::High), t(20)) {
+    match rda.pp_begin(ProcessId(2), SiteId(0), PpDemand::llc(mb(5.0), ReuseLevel::High), t(20)).unwrap() {
         BeginOutcome::Pause { pp } => {
             println!("P2: pp_begin(LLC, MB(5.0), HIGH) → PAUSE ({pp}) — waitlisted");
         }
@@ -53,11 +53,15 @@ fn main() {
     }
 
     // DGEMM finishes: pp_end(pp_id). Capacity frees; P2 resumes.
-    let out = rda.pp_end(dgemm_pp, t(1_000_000));
+    let out = rda.pp_end(dgemm_pp, t(1_000_000)).unwrap();
     for (pp, process) in &out.resumed {
         println!("P0: pp_end → resumed {process} ({pp}) from the waitlist");
     }
-    let _ = rda.pp_end(p1, t(2_000_000));
+    // A buggy second pp_end is rejected with a typed error instead of
+    // corrupting the load table (the PR 2 fault model).
+    let err = rda.pp_end(dgemm_pp, t(1_000_010)).unwrap_err();
+    println!("P0: pp_end again       → ERROR  ({err})");
+    let _ = rda.pp_end(p1, t(2_000_000)).unwrap();
     assert!(rda.check_invariants().is_ok());
 
     // --- The same mechanics, end to end, on the simulated machine ---

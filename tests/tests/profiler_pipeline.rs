@@ -85,10 +85,15 @@ fn profiled_annotation_round_trips_through_the_scheduler() {
         PolicyKind::Strict,
     ));
     let ann = &anns[0];
-    match rda.pp_begin(ProcessId(0), ann.site, ann.demand(), SimTime::ZERO) {
+    let outcome = rda
+        .pp_begin(ProcessId(0), ann.site, ann.demand(), SimTime::ZERO)
+        .expect("default Trust audit never rejects");
+    match outcome {
         BeginOutcome::Run { pp, .. } => {
             assert_eq!(rda.usage(rda_core::Resource::Llc), ann.ws_bytes);
-            let out = rda.pp_end(pp, SimTime::from_cycles(100));
+            let out = rda
+                .pp_end(pp, SimTime::from_cycles(100))
+                .expect("ending a live admitted period");
             assert!(out.resumed.is_empty());
         }
         other => panic!("a tiny profiled demand must be admitted: {other:?}"),
