@@ -1,0 +1,407 @@
+//! The bounded exhaustive explorer: every interleaving of a small
+//! scenario template, checked against the reference model.
+//!
+//! A [`Template`] gives each process a fixed per-process program (a
+//! sequence of [`Op`]s) plus a number of free-floating aging ticks. The
+//! explorer enumerates **all interleavings** of those programs by DFS.
+//! At every reached state the differential oracle ([`crate::diff`])
+//! checks model equivalence and the implementation's own invariants, so
+//! one `explore` call covers the whole bounded state space of the
+//! scenario — admission, pausing, FIFO resume order, aging, exit
+//! reclamation, double ends — under a single policy/configuration.
+//!
+//! States are pruned with an FNV-1a memo key over (per-process program
+//! counters, aging ticks spent, observable snapshot digest, both
+//! fast-path cache digests): two DFS paths that reach identical
+//! extension state at the same template position share their whole
+//! subtree. The prune and state counts are reported so CI output shows
+//! the real covered volume.
+//!
+//! Every DFS path is itself a [`TraceDoc`], so a divergence is returned
+//! *as a replayable trace* — ready to shrink and commit to
+//! `tests/corpus/`.
+
+use crate::diff::{Divergence, Oracle};
+use crate::trace::{TraceDoc, TraceEvent};
+use rda_core::{RdaConfig, Resource};
+use rda_simcore::Fnv1a64;
+use std::collections::HashSet;
+
+use crate::model::Effect;
+
+/// One step of a process's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `pp_begin` at the given site.
+    Begin {
+        /// Static call site.
+        site: u32,
+        /// Targeted resource.
+        resource: Resource,
+        /// Declared demand, bytes.
+        amount: u64,
+    },
+    /// `pp_end` of the `nth` period this process began (0-based). If
+    /// that begin allocated no id (audit-rejected) or `nth` is out of
+    /// range, a guaranteed-unallocated id is ended instead — still a
+    /// legal (rejected) call both machines must agree on.
+    End {
+        /// Index into this process's begins.
+        nth: usize,
+    },
+    /// `pp_end` of an id that is never allocated (protocol violation).
+    EndUnknown,
+    /// `process_exit` of this process (remaining ops still run, so ops
+    /// after an `Exit` exercise use-after-exit protocol violations).
+    Exit,
+}
+
+/// A bounded scenario: per-process programs plus free aging ticks.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Template name, for reports.
+    pub name: String,
+    /// One program per process; process id = index.
+    pub procs: Vec<Vec<Op>>,
+    /// Number of `age_waitlist` ticks interleaved anywhere.
+    pub age_ticks: u32,
+    /// Virtual cycles between consecutive events (event *k* of a path
+    /// runs at `k * step_cycles`), so timeouts and fast-path freshness
+    /// are exercised deterministically.
+    pub step_cycles: u64,
+}
+
+/// An id no template can allocate (`End` past a rejected begin).
+const NEVER_ALLOCATED: u64 = 1 << 40;
+
+/// Result of exploring one template under one configuration.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Distinct states visited (= oracle checks performed).
+    pub states: u64,
+    /// Transitions skipped because the reached state was already seen.
+    pub pruned: u64,
+    /// Complete interleavings run to the end (leaves of the pruned DFS).
+    pub completed: u64,
+    /// First divergence found, with the trace that reaches it; `None`
+    /// when the whole bounded space agrees.
+    pub divergence: Option<(TraceDoc, Divergence)>,
+}
+
+impl Exploration {
+    /// True when the bounded space was fully explored with no
+    /// divergence.
+    pub fn clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+struct Dfs<'a> {
+    tpl: &'a Template,
+    cfg: &'a RdaConfig,
+    seen: HashSet<u64>,
+    states: u64,
+    pruned: u64,
+    completed: u64,
+}
+
+/// A node of the interleaving tree.
+#[derive(Clone)]
+struct Node {
+    oracle: Oracle,
+    /// Next op index per process.
+    pcs: Vec<usize>,
+    /// Aging ticks already spent.
+    ages: u32,
+    /// Allocated pp ids per process, in begin order.
+    begun: Vec<Vec<u64>>,
+    /// Events applied so far (the path; a replayable trace).
+    events: Vec<TraceEvent>,
+}
+
+impl Dfs<'_> {
+    fn memo_key(&self, node: &Node) -> u64 {
+        let mut h = Fnv1a64::new();
+        for &pc in &node.pcs {
+            h.write_usize(pc);
+        }
+        h.write_u64(node.ages as u64);
+        h.write_u64(node.oracle.snapshot().digest());
+        h.write_u64(node.oracle.ext().fastpath_digest());
+        h.write_u64(node.oracle.model().cache_digest());
+        h.finish()
+    }
+
+    fn op_to_event(&self, node: &Node, proc: usize, op: Op, t: u64) -> TraceEvent {
+        match op {
+            Op::Begin {
+                site,
+                resource,
+                amount,
+            } => TraceEvent::Begin {
+                t,
+                process: proc as u32,
+                site,
+                resource,
+                amount,
+            },
+            Op::End { nth } => TraceEvent::End {
+                t,
+                pp: node.begun[proc]
+                    .get(nth)
+                    .copied()
+                    .unwrap_or(NEVER_ALLOCATED),
+            },
+            Op::EndUnknown => TraceEvent::End {
+                t,
+                pp: NEVER_ALLOCATED,
+            },
+            Op::Exit => TraceEvent::Exit {
+                t,
+                process: proc as u32,
+            },
+        }
+    }
+
+    /// Explore all successors of `node`. Returns the first divergence.
+    fn walk(&mut self, node: &Node) -> Option<(TraceDoc, Divergence)> {
+        let depth = node.pcs.iter().sum::<usize>() + node.ages as usize;
+        let t = (depth as u64 + 1) * self.tpl.step_cycles;
+
+        // Moves: one ready op per process, plus an aging tick.
+        let mut moves: Vec<Option<usize>> = (0..self.tpl.procs.len())
+            .filter(|&p| node.pcs[p] < self.tpl.procs[p].len())
+            .map(Some)
+            .collect();
+        if node.ages < self.tpl.age_ticks {
+            moves.push(None);
+        }
+        let any_move = !moves.is_empty();
+        for mv in moves {
+            let mut child = node.clone();
+            let event = match mv {
+                Some(p) => {
+                    let op = self.tpl.procs[p][node.pcs[p]];
+                    child.pcs[p] += 1;
+                    self.op_to_event(node, p, op, t)
+                }
+                None => {
+                    child.ages += 1;
+                    TraceEvent::Age { t }
+                }
+            };
+            child.events.push(event);
+            match child.oracle.apply(&event) {
+                Err(div) => {
+                    return Some((
+                        TraceDoc {
+                            cfg: self.cfg.clone(),
+                            events: child.events,
+                        },
+                        *div,
+                    ));
+                }
+                Ok(Effect::Run { pp, .. }) | Ok(Effect::Pause { pp }) => {
+                    if let TraceEvent::Begin { process, .. } = event {
+                        child.begun[process as usize].push(pp.0);
+                    }
+                }
+                Ok(_) => {}
+            }
+            let key = self.memo_key(&child);
+            if !self.seen.insert(key) {
+                self.pruned += 1;
+                continue;
+            }
+            self.states += 1;
+            if let Some(found) = self.walk(&child) {
+                return Some(found);
+            }
+        }
+        if !any_move {
+            self.completed += 1;
+        }
+        None
+    }
+}
+
+/// Exhaustively explore every interleaving of `tpl` under `cfg`.
+pub fn explore(cfg: &RdaConfig, tpl: &Template) -> Exploration {
+    let mut dfs = Dfs {
+        tpl,
+        cfg,
+        seen: HashSet::new(),
+        states: 0,
+        pruned: 0,
+        completed: 0,
+    };
+    let root = Node {
+        oracle: Oracle::new(cfg.clone()),
+        pcs: vec![0; tpl.procs.len()],
+        ages: 0,
+        begun: vec![Vec::new(); tpl.procs.len()],
+        events: Vec::new(),
+    };
+    let divergence = dfs.walk(&root);
+    Exploration {
+        states: dfs.states,
+        pruned: dfs.pruned,
+        completed: dfs.completed,
+        divergence,
+    }
+}
+
+impl Template {
+    /// The acceptance-gate template: three processes contending for the
+    /// LLC with demands sized against `llc_capacity` so every admission
+    /// class is reachable (two fit together, all three never do
+    /// nominally), each process running two begin/end pairs, plus one
+    /// aging tick. Explore under both Strict and Compromise.
+    pub fn three_process_contention(llc_capacity: u64) -> Template {
+        let cap = llc_capacity;
+        let b = |site, frac_num: u64| Op::Begin {
+            site,
+            resource: Resource::Llc,
+            amount: cap * frac_num / 16,
+        };
+        Template {
+            name: "three-process-contention".into(),
+            // 8/16 + 6/16 fit together under Strict; +10/16 does not,
+            // but fits under Compromise ×2; repeats exercise the fast
+            // path and waitlist requeueing.
+            procs: vec![
+                vec![b(0, 8), Op::End { nth: 0 }, b(0, 8), Op::End { nth: 1 }],
+                vec![b(1, 6), Op::End { nth: 0 }, b(1, 6), Op::End { nth: 1 }],
+                vec![b(2, 10), Op::End { nth: 0 }, b(2, 10), Op::End { nth: 1 }],
+            ],
+            age_ticks: 1,
+            step_cycles: 400,
+        }
+    }
+
+    /// Protocol-violation template: double ends, unknown ends, ends
+    /// after exit, exit with a waitlisted period — every `RdaError`
+    /// path interleaved with legitimate traffic.
+    pub fn faulty_ops(llc_capacity: u64) -> Template {
+        let cap = llc_capacity;
+        let b = |site, frac_num: u64| Op::Begin {
+            site,
+            resource: Resource::Llc,
+            amount: cap * frac_num / 16,
+        };
+        Template {
+            name: "faulty-ops".into(),
+            procs: vec![
+                // Honest, then a double end.
+                vec![b(0, 9), Op::End { nth: 0 }, Op::End { nth: 0 }],
+                // Dies holding one admitted period, then ends it anyway.
+                vec![b(1, 7), Op::Exit, Op::End { nth: 0 }],
+                // Ends a period that never existed, then begins a
+                // contended demand it never ends (reaped by nothing —
+                // aging or exit must not be required for books to stay
+                // consistent).
+                vec![Op::EndUnknown, b(2, 12), Op::Exit],
+            ],
+            age_ticks: 1,
+            step_cycles: 400,
+        }
+    }
+
+    /// Two oversized demands (deadlock-guard territory) against a
+    /// fitting third, under aging.
+    pub fn oversized_pair(llc_capacity: u64) -> Template {
+        let cap = llc_capacity;
+        let b = |site, amount| Op::Begin {
+            site,
+            resource: Resource::Llc,
+            amount,
+        };
+        Template {
+            name: "oversized-pair".into(),
+            procs: vec![
+                vec![b(0, cap + 1), Op::End { nth: 0 }],
+                vec![b(1, cap + 1), Op::End { nth: 0 }],
+                vec![b(2, cap / 2), Op::End { nth: 0 }],
+            ],
+            age_ticks: 2,
+            step_cycles: 400,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::default_config;
+    use rda_core::{DemandAudit, PolicyKind};
+
+    fn small_cfg(policy: PolicyKind) -> RdaConfig {
+        let mut cfg = default_config();
+        cfg.policy = policy;
+        cfg.llc_capacity = 16_000;
+        cfg.demand_audit = DemandAudit::Clamp;
+        cfg.waitlist_timeout_cycles = Some(1_200);
+        cfg.min_eval_interval_cycles = 1_000;
+        cfg
+    }
+
+    #[test]
+    fn two_process_space_is_clean_and_counts_are_sane() {
+        let mut tpl = Template::three_process_contention(16_000);
+        tpl.procs.truncate(2);
+        let ex = explore(&small_cfg(PolicyKind::Strict), &tpl);
+        assert!(ex.clean(), "{:?}", ex.divergence.map(|d| d.1.to_string()));
+        assert!(ex.states > 0);
+        assert!(ex.completed > 0);
+        // Interleavings of two 4-op programs + 1 age tick: C(8,4)*9 =
+        // 630 paths; pruning must make states strictly cheaper than
+        // enumerating every path's every prefix.
+        assert!(ex.pruned > 0, "memoisation never fired");
+    }
+
+    #[test]
+    fn faulty_space_is_clean_under_both_policies() {
+        for policy in [PolicyKind::Strict, PolicyKind::compromise_default()] {
+            let ex = explore(&small_cfg(policy), &Template::faulty_ops(16_000));
+            assert!(
+                ex.clean(),
+                "{policy}: {}",
+                ex.divergence.map(|d| d.1.to_string()).unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_space_is_clean() {
+        let ex = explore(
+            &small_cfg(PolicyKind::Strict),
+            &Template::oversized_pair(16_000),
+        );
+        assert!(
+            ex.clean(),
+            "{}",
+            ex.divergence.map(|d| d.1.to_string()).unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn divergence_comes_with_a_replayable_trace() {
+        // Force a divergence by giving the oracle a *doctored* oracle:
+        // replay the faulty template against a config the model sees
+        // differently is impossible through the public API, so instead
+        // verify the plumbing: a trace returned by a (hypothetical)
+        // divergence must replay through `TraceDoc::parse(to_text())`.
+        // Here we just check the happy path keeps traces replayable.
+        let tpl = Template::faulty_ops(16_000);
+        let cfg = small_cfg(PolicyKind::Strict);
+        let ex = explore(&cfg, &tpl);
+        assert!(ex.clean());
+        // Reconstruct one full path manually and round-trip it.
+        let doc = crate::trace::TraceDoc {
+            cfg,
+            events: vec![TraceEvent::Age { t: 400 }],
+        };
+        let text = doc.to_text();
+        assert_eq!(crate::trace::TraceDoc::parse(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,612 @@
+//! A pure-functional reference model of the RDA extension.
+//!
+//! This is an *executable specification*: Algorithm 1 plus the
+//! waitlist, aging, demand-audit, fast-path-memoisation, and
+//! process-exit semantics, written from DESIGN.md and the paper —
+//! **deliberately sharing no logic with `rda-core`**. Where the
+//! implementation routes a decision through `predicate::try_schedule`,
+//! `PolicyKind::apply`, or `FastPathCache::try_admit`, the model
+//! re-derives the same rule from flat arithmetic over plain vectors and
+//! maps. The differential oracle ([`crate::diff`]) replays identical
+//! event sequences through both and demands bit-identical observable
+//! state after every event, so a bug must be introduced *twice,
+//! identically, through two unrelated code paths* before it can hide.
+//!
+//! The model values obviousness over speed: `Vec` scans instead of
+//! queues, recomputed limits instead of cached ones, one flat function
+//! per API call. Everything observable — both accounting buckets,
+//! waitlist order, live periods, counters, the id allocator, and the
+//! memoised decision cache — is reproduced exactly.
+
+use rda_core::{
+    DemandAudit, PolicyKind, PpId, PpSnap, RdaConfig, RdaError, RdaStats, Resource, Snapshot,
+    WaitSnap,
+};
+use rda_sched::ProcessId;
+use rda_simcore::Fnv1a64;
+use std::collections::BTreeMap;
+
+/// The observable effect of one extension call, shared vocabulary
+/// between the model and the mapped outcomes of [`rda_core::RdaExtension`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// `pp_begin` under a non-gating policy: nothing tracked.
+    Bypass,
+    /// `pp_begin` admitted the period.
+    Run {
+        /// The allocated period id.
+        pp: PpId,
+        /// Whether the memoised fast path served the call.
+        fast: bool,
+    },
+    /// `pp_begin` waitlisted the period.
+    Pause {
+        /// The allocated (waitlisted) period id.
+        pp: PpId,
+    },
+    /// `pp_end` completed a period.
+    End {
+        /// Whether the fast path served the call.
+        fast: bool,
+        /// Waitlisted periods admitted by the completion.
+        resumed: Vec<(PpId, ProcessId)>,
+    },
+    /// `process_exit` or `age_waitlist` ran; these cannot fail.
+    Woken {
+        /// Waitlisted periods admitted by the call.
+        resumed: Vec<(PpId, ProcessId)>,
+    },
+    /// The call was rejected with a typed error.
+    Rejected(RdaError),
+}
+
+/// A live period as the model tracks it. `declared` holds the
+/// *audited* amount — what the implementation registers after the
+/// demand audit — since that is what [`Snapshot`] exposes.
+#[derive(Debug, Clone, Copy)]
+struct Period {
+    process: ProcessId,
+    site: u32,
+    resource: Resource,
+    declared: u64,
+    accounted: u64,
+    admitted: bool,
+    overflow: bool,
+}
+
+/// One waitlisted period.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    pp: u64,
+    accounted: u64,
+    enqueued: u64,
+}
+
+/// One memoised admission decision for a (process, site) pair.
+#[derive(Debug, Clone, Copy)]
+struct Cached {
+    resource: Resource,
+    amount: u64,
+    threshold: u64,
+    refreshed: u64,
+}
+
+/// The reference model. Construct with the same [`RdaConfig`] as the
+/// implementation under test and drive both with identical calls.
+#[derive(Debug, Clone)]
+pub struct RefModel {
+    cfg: RdaConfig,
+    next_id: u64,
+    periods: BTreeMap<u64, Period>,
+    waiters: [Vec<Waiter>; 2],
+    usage: [u64; 2],
+    overflow: [u64; 2],
+    cache: BTreeMap<(u32, u32), Cached>,
+    stats: RdaStats,
+}
+
+fn idx(r: Resource) -> usize {
+    match r {
+        Resource::Llc => 0,
+        Resource::MemBandwidth => 1,
+    }
+}
+
+/// The usage ceiling a policy enforces on a resource of `capacity`.
+fn usage_limit(policy: PolicyKind, capacity: u64) -> u64 {
+    match policy {
+        PolicyKind::DefaultOnly => u64::MAX,
+        PolicyKind::Strict | PolicyKind::Partitioned { .. } => capacity,
+        PolicyKind::Compromise { factor } => (capacity as f64 * factor) as u64,
+    }
+}
+
+/// The demand actually accounted for a period declaring `demand`.
+fn effective(policy: PolicyKind, demand: u64, capacity: u64) -> u64 {
+    match policy {
+        PolicyKind::Partitioned { quota_frac } => demand.min((capacity as f64 * quota_frac) as u64),
+        _ => demand,
+    }
+}
+
+/// Algorithm 1 as flat arithmetic: `outcome = (capacity − usage) −
+/// accounted`, admitted when the policy accepts the outcome. Includes
+/// the oversized-demand deadlock guard (a demand that can never pass
+/// is admitted immediately rather than waitlisted forever).
+fn runnable(policy: PolicyKind, capacity: u64, usage: u64, accounted: u64) -> bool {
+    if accounted > usage_limit(policy, capacity) {
+        return true;
+    }
+    let outcome = capacity as i128 - usage as i128 - accounted as i128;
+    match policy {
+        PolicyKind::DefaultOnly => true,
+        PolicyKind::Strict | PolicyKind::Partitioned { .. } => outcome >= 0,
+        PolicyKind::Compromise { factor } => outcome >= -((capacity as f64 * (factor - 1.0)) as i128),
+    }
+}
+
+impl RefModel {
+    /// A fresh model with the given configuration.
+    pub fn new(cfg: RdaConfig) -> Self {
+        RefModel {
+            cfg,
+            next_id: 0,
+            periods: BTreeMap::new(),
+            waiters: [Vec::new(), Vec::new()],
+            usage: [0, 0],
+            overflow: [0, 0],
+            cache: BTreeMap::new(),
+            stats: RdaStats::default(),
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &RdaConfig {
+        &self.cfg
+    }
+
+    fn capacity(&self, r: Resource) -> u64 {
+        match r {
+            Resource::Llc => self.cfg.llc_capacity,
+            Resource::MemBandwidth => self.cfg.membw_capacity,
+        }
+    }
+
+    fn alloc(
+        &mut self,
+        process: ProcessId,
+        site: u32,
+        resource: Resource,
+        declared: u64,
+        accounted: u64,
+        admitted: bool,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.periods.insert(
+            id,
+            Period {
+                process,
+                site,
+                resource,
+                declared,
+                accounted,
+                admitted,
+                overflow: false,
+            },
+        );
+        id
+    }
+
+    /// The memoised fast-path check: hit when a cached decision for
+    /// this (process, site) is fresh, matches resource and demand, and
+    /// current usage still satisfies the threshold. A hit refreshes the
+    /// entry; a demand/resource mismatch evicts it.
+    fn cache_admit(
+        &mut self,
+        process: ProcessId,
+        site: u32,
+        resource: Resource,
+        amount: u64,
+        usage: u64,
+        now: u64,
+    ) -> bool {
+        let key = (process.0, site);
+        let Some(c) = self.cache.get_mut(&key) else {
+            return false;
+        };
+        let fresh = now.saturating_sub(c.refreshed) < self.cfg.min_eval_interval_cycles;
+        let matches = c.resource == resource && c.amount == amount;
+        if fresh && matches && usage <= c.threshold {
+            c.refreshed = now;
+            true
+        } else {
+            if !matches {
+                self.cache.remove(&key);
+            }
+            false
+        }
+    }
+
+    /// Model of `pp_begin`.
+    pub fn pp_begin(
+        &mut self,
+        process: ProcessId,
+        site: u32,
+        resource: Resource,
+        declared: u64,
+        now: u64,
+    ) -> Effect {
+        if matches!(self.cfg.policy, PolicyKind::DefaultOnly) {
+            return Effect::Bypass;
+        }
+        self.stats.begins += 1;
+        let capacity = self.capacity(resource);
+
+        // Demand audit.
+        let audited = match self.cfg.demand_audit {
+            DemandAudit::Trust => declared,
+            DemandAudit::Clamp => {
+                if declared > capacity {
+                    self.stats.clamped += 1;
+                    capacity
+                } else {
+                    declared
+                }
+            }
+            DemandAudit::Reject => {
+                if declared > capacity {
+                    self.stats.clamped += 1;
+                    return Effect::Rejected(RdaError::DemandOverflow {
+                        resource,
+                        declared,
+                        capacity,
+                    });
+                }
+                declared
+            }
+        };
+        let accounted = effective(self.cfg.policy, audited, capacity);
+        let i = idx(resource);
+        // 64-bit load-table overflow guard; reports the audited amount.
+        if self.usage[i].checked_add(accounted).is_none() {
+            self.stats.clamped += 1;
+            return Effect::Rejected(RdaError::DemandOverflow {
+                resource,
+                declared: audited,
+                capacity,
+            });
+        }
+
+        // Fast path: only consulted while nothing waits on the resource
+        // (so a repeat admission cannot jump ahead of a waiter).
+        if self.waiters[i].is_empty()
+            && self.cache_admit(process, site, resource, audited, self.usage[i], now)
+        {
+            self.usage[i] += accounted;
+            let pp = self.alloc(process, site, resource, audited, accounted, true);
+            self.stats.admitted += 1;
+            self.stats.fast_begins += 1;
+            return Effect::Run {
+                pp: PpId(pp),
+                fast: true,
+            };
+        }
+
+        // Slow path: Algorithm 1.
+        let limit = usage_limit(self.cfg.policy, capacity);
+        if runnable(self.cfg.policy, capacity, self.usage[i], accounted) {
+            if accounted > limit {
+                self.stats.oversized_admits += 1;
+            }
+            self.usage[i] += accounted;
+            let pp = self.alloc(process, site, resource, audited, accounted, true);
+            self.stats.admitted += 1;
+            self.cache.insert(
+                (process.0, site),
+                Cached {
+                    resource,
+                    amount: audited,
+                    threshold: limit.saturating_sub(accounted),
+                    refreshed: now,
+                },
+            );
+            Effect::Run {
+                pp: PpId(pp),
+                fast: false,
+            }
+        } else {
+            let pp = self.alloc(process, site, resource, audited, accounted, false);
+            self.waiters[i].push(Waiter {
+                pp,
+                accounted,
+                enqueued: now,
+            });
+            self.stats.paused += 1;
+            self.stats.max_waitlist = self.stats.max_waitlist.max(self.waiters[i].len() as u64);
+            Effect::Pause { pp: PpId(pp) }
+        }
+    }
+
+    /// Model of `pp_end`.
+    pub fn pp_end(&mut self, pp: PpId, now: u64) -> Effect {
+        self.stats.ends += 1;
+        let Some(rec) = self.periods.get(&pp.0) else {
+            self.stats.rejected_ends += 1;
+            return Effect::Rejected(if pp.0 < self.next_id {
+                RdaError::DoubleEnd(pp)
+            } else {
+                RdaError::UnknownPp(pp)
+            });
+        };
+        if !rec.admitted {
+            self.stats.rejected_ends += 1;
+            return Effect::Rejected(RdaError::EndWhileWaitlisted(pp));
+        }
+        let rec = self.periods.remove(&pp.0).expect("checked live above");
+        let i = idx(rec.resource);
+        if rec.overflow {
+            self.overflow[i] -= rec.accounted;
+        } else {
+            self.usage[i] -= rec.accounted;
+        }
+
+        if self.waiters[i].is_empty() {
+            // Fast completion: no one to wake and the site's decision is
+            // still fresh (freshness is read, not refreshed, here).
+            let fresh = self
+                .cache
+                .get(&(rec.process.0, rec.site))
+                .is_some_and(|c| now.saturating_sub(c.refreshed) < self.cfg.min_eval_interval_cycles);
+            if fresh {
+                self.stats.fast_ends += 1;
+            }
+            return Effect::End {
+                fast: fresh,
+                resumed: Vec::new(),
+            };
+        }
+        let resumed = self.drain(rec.resource, now);
+        Effect::End {
+            fast: false,
+            resumed,
+        }
+    }
+
+    /// Model of `process_exit`: reclaim every live period of `process`
+    /// (release admitted demand, cancel waiters), drop its memoised
+    /// decisions, then re-walk the waitlists if anything was reclaimed.
+    pub fn process_exit(&mut self, process: ProcessId, now: u64) -> Effect {
+        let live: Vec<u64> = self
+            .periods
+            .iter()
+            .filter(|(_, r)| r.process == process)
+            .map(|(&id, _)| id)
+            .collect();
+        let had_any = !live.is_empty();
+        for id in live {
+            let rec = self.periods.remove(&id).expect("collected above");
+            let i = idx(rec.resource);
+            if rec.admitted {
+                if rec.overflow {
+                    self.overflow[i] -= rec.accounted;
+                } else {
+                    self.usage[i] -= rec.accounted;
+                }
+            } else {
+                self.waiters[i].retain(|w| w.pp != id);
+            }
+            self.stats.reclaimed += 1;
+        }
+        self.cache.retain(|&(p, _), _| p != process.0);
+        if !had_any {
+            return Effect::Woken {
+                resumed: Vec::new(),
+            };
+        }
+        let mut resumed = Vec::new();
+        for r in Resource::ALL {
+            resumed.extend(self.drain(r, now));
+        }
+        Effect::Woken { resumed }
+    }
+
+    /// Model of `age_waitlist`: a no-op when aging is disabled.
+    pub fn age_waitlist(&mut self, now: u64) -> Effect {
+        if self.cfg.waitlist_timeout_cycles.is_none() {
+            return Effect::Woken {
+                resumed: Vec::new(),
+            };
+        }
+        let mut resumed = Vec::new();
+        for r in Resource::ALL {
+            resumed.extend(self.drain(r, now));
+        }
+        Effect::Woken { resumed }
+    }
+
+    /// Walk one resource's FIFO: admit nominally while the head fits,
+    /// then force-admit the *oldest* expired waiter into the overflow
+    /// bucket and re-walk (removing a blocker can unblock queued
+    /// periods behind it).
+    fn drain(&mut self, resource: Resource, now: u64) -> Vec<(PpId, ProcessId)> {
+        let i = idx(resource);
+        let capacity = self.capacity(resource);
+        let limit = usage_limit(self.cfg.policy, capacity);
+        let mut resumed = Vec::new();
+        loop {
+            while let Some(&head) = self.waiters[i].first() {
+                let accounted = self.periods[&head.pp].accounted;
+                if !runnable(self.cfg.policy, capacity, self.usage[i], accounted) {
+                    break;
+                }
+                self.waiters[i].remove(0);
+                self.usage[i] += head.accounted;
+                let rec = self.periods.get_mut(&head.pp).expect("waiter is live");
+                rec.admitted = true;
+                let (process, site, amount) = (rec.process, rec.site, rec.declared);
+                self.cache.insert(
+                    (process.0, site),
+                    Cached {
+                        resource,
+                        amount,
+                        threshold: limit.saturating_sub(head.accounted),
+                        refreshed: now,
+                    },
+                );
+                self.stats.resumed += 1;
+                resumed.push((PpId(head.pp), process));
+            }
+            let Some(timeout) = self.cfg.waitlist_timeout_cycles else {
+                break;
+            };
+            // Oldest expired waiter, by enqueue time (not queue position).
+            let Some(pos) = self.waiters[i]
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| now.saturating_sub(w.enqueued) >= timeout)
+                .min_by_key(|(_, w)| w.enqueued)
+                .map(|(p, _)| p)
+            else {
+                break;
+            };
+            let aged = self.waiters[i].remove(pos);
+            let rec = self.periods.get_mut(&aged.pp).expect("waiter is live");
+            rec.admitted = true;
+            rec.overflow = true;
+            let process = rec.process;
+            self.overflow[i] += aged.accounted;
+            self.stats.aged_admissions += 1;
+            resumed.push((PpId(aged.pp), process));
+        }
+        resumed
+    }
+
+    /// The model's observable state in the implementation's
+    /// [`Snapshot`] vocabulary, for direct comparison.
+    pub fn snapshot(&self) -> Snapshot {
+        let waitlists = [0, 1].map(|i: usize| {
+            self.waiters[i]
+                .iter()
+                .map(|w| WaitSnap {
+                    pp: PpId(w.pp),
+                    accounted: w.accounted,
+                    enqueued_cycles: w.enqueued,
+                })
+                .collect()
+        });
+        Snapshot {
+            usage: self.usage,
+            overflow: self.overflow,
+            waitlists,
+            periods: self
+                .periods
+                .iter()
+                .map(|(&id, r)| PpSnap {
+                    id: PpId(id),
+                    process: r.process,
+                    site: rda_core::SiteId(r.site),
+                    resource: r.resource,
+                    declared: r.declared,
+                    accounted: r.accounted,
+                    admitted: r.admitted,
+                    overflow: r.overflow,
+                })
+                .collect(),
+            stats: self.stats,
+            allocated: self.next_id,
+        }
+    }
+
+    /// Order-independent digest of the memoised decision cache, built
+    /// with the same per-entry hash as
+    /// [`rda_core::extension::RdaExtension::fastpath_digest`] so the two
+    /// can be compared directly.
+    pub fn cache_digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (&(process, site), c) in &self.cache {
+            let mut h = Fnv1a64::new();
+            h.write_u64(process as u64)
+                .write_u64(site as u64)
+                .write_u64(idx(c.resource) as u64)
+                .write_u64(c.amount)
+                .write_u64(c.threshold)
+                .write_u64(c.refreshed);
+            acc ^= h.finish();
+        }
+        acc ^ self.cache.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_machine::MachineConfig;
+
+    fn cfg(policy: PolicyKind) -> RdaConfig {
+        RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), policy)
+    }
+
+    fn mb(v: f64) -> u64 {
+        rda_core::mb(v)
+    }
+
+    #[test]
+    fn strict_pauses_when_full_and_resumes_on_end() {
+        let mut m = RefModel::new(cfg(PolicyKind::Strict));
+        let p = ProcessId(0);
+        let a = match m.pp_begin(p, 0, Resource::Llc, mb(10.0), 0) {
+            Effect::Run { pp, fast: false } => pp,
+            other => panic!("expected slow Run, got {other:?}"),
+        };
+        let b = match m.pp_begin(ProcessId(1), 1, Resource::Llc, mb(10.0), 10) {
+            Effect::Pause { pp } => pp,
+            other => panic!("expected Pause, got {other:?}"),
+        };
+        match m.pp_end(a, 20) {
+            Effect::End { fast: false, resumed } => {
+                assert_eq!(resumed, vec![(b, ProcessId(1))]);
+            }
+            other => panic!("expected slow End, got {other:?}"),
+        }
+        let s = m.snapshot();
+        assert_eq!(s.usage[0], mb(10.0));
+        assert_eq!(s.stats.resumed, 1);
+    }
+
+    #[test]
+    fn repeat_site_hits_the_fast_path() {
+        let mut m = RefModel::new(cfg(PolicyKind::Strict));
+        let p = ProcessId(0);
+        let a = match m.pp_begin(p, 7, Resource::Llc, mb(2.0), 0) {
+            Effect::Run { pp, fast: false } => pp,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(m.pp_end(a, 100), Effect::End { fast: true, .. }));
+        assert!(matches!(
+            m.pp_begin(p, 7, Resource::Llc, mb(2.0), 200),
+            Effect::Run { fast: true, .. }
+        ));
+        assert_eq!(m.snapshot().stats.fast_begins, 1);
+    }
+
+    #[test]
+    fn rejected_end_leaves_books_untouched() {
+        let mut m = RefModel::new(cfg(PolicyKind::Strict));
+        let before = m.snapshot().without_stats();
+        assert!(matches!(
+            m.pp_end(PpId(4), 0),
+            Effect::Rejected(RdaError::UnknownPp(PpId(4)))
+        ));
+        assert_eq!(m.snapshot().without_stats(), before);
+        assert_eq!(m.snapshot().stats.rejected_ends, 1);
+    }
+
+    #[test]
+    fn default_only_bypasses_everything() {
+        let mut m = RefModel::new(cfg(PolicyKind::DefaultOnly));
+        assert_eq!(m.pp_begin(ProcessId(0), 0, Resource::Llc, mb(99.0), 0), Effect::Bypass);
+        assert!(m.snapshot().is_idle());
+        assert_eq!(m.snapshot().stats, RdaStats::default());
+    }
+}

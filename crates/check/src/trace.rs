@@ -1,0 +1,340 @@
+//! The `.trace` text format: replayable event traces for the
+//! differential oracle.
+//!
+//! A trace file is a configuration header followed by one event per
+//! line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # Two processes contending for a 15 MB LLC under RDA:Strict.
+//! policy strict
+//! audit trust
+//! timeout 1000000
+//!
+//! begin 0      0 0 llc 10mb
+//! begin 1000   1 1 llc 10mb
+//! end   2000   0
+//! ```
+//!
+//! Header keys (each optional; defaults are the Xeon E5-2420 machine
+//! under `policy strict`, `audit trust`, no aging):
+//!
+//! * `policy default | strict | compromise <factor> | partitioned <frac>`
+//! * `llc <bytes>` / `membw <bytes>` — resource capacities
+//! * `audit trust | clamp | reject`
+//! * `timeout none | <cycles>` — waitlist aging timeout
+//! * `interval <cycles>` — fast-path re-evaluation interval
+//!
+//! Events (all times in cycles; amounts accept a raw byte count or a
+//! decimal with an `mb` suffix):
+//!
+//! * `begin <t> <process> <site> <llc|membw> <amount>`
+//! * `end <t> <pp>` — pp ids are allocated sequentially from 0 in
+//!   begin order, so traces reference them by index
+//! * `exit <t> <process>`
+//! * `age <t>`
+//!
+//! Shrunk counterexamples from the random generator are written in this
+//! format under `tests/corpus/` and replayed by CI forever after.
+
+use rda_core::{DemandAudit, PolicyKind, RdaConfig, Resource};
+use rda_machine::MachineConfig;
+use std::fmt::Write as _;
+
+/// One replayable extension call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `pp_begin(process, site, {resource, amount})` at cycle `t`.
+    Begin {
+        /// Call time, cycles.
+        t: u64,
+        /// Calling process.
+        process: u32,
+        /// Static call site.
+        site: u32,
+        /// Targeted resource.
+        resource: Resource,
+        /// Declared demand (pre-audit), bytes.
+        amount: u64,
+    },
+    /// `pp_end(pp)` at cycle `t`.
+    End {
+        /// Call time, cycles.
+        t: u64,
+        /// The period id to end (sequential from 0 in begin order).
+        pp: u64,
+    },
+    /// `process_exit(process)` at cycle `t`.
+    Exit {
+        /// Call time, cycles.
+        t: u64,
+        /// The exiting process.
+        process: u32,
+    },
+    /// `age_waitlist()` at cycle `t`.
+    Age {
+        /// Call time, cycles.
+        t: u64,
+    },
+}
+
+/// A parsed trace: the extension configuration plus the event sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDoc {
+    /// Configuration both the model and the implementation replay under.
+    pub cfg: RdaConfig,
+    /// The events, in call order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The header defaults: the paper's machine under RDA:Strict.
+pub fn default_config() -> RdaConfig {
+    RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), PolicyKind::Strict)
+}
+
+impl TraceDoc {
+    /// A trace over the default header with the given events.
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        TraceDoc {
+            cfg: default_config(),
+            events,
+        }
+    }
+
+    /// Parse the text format. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = default_config();
+        let mut events = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let no = no + 1;
+            let mut words = line.split_whitespace();
+            let key = words.next().expect("non-empty line has a first word");
+            let fields: Vec<&str> = words.collect();
+            let fail = |msg: &str| format!("line {no}: {msg}: `{raw}`");
+            let is_event = matches!(key, "begin" | "end" | "exit" | "age");
+            if !is_event && !events.is_empty() {
+                return Err(fail("header line after the first event"));
+            }
+            match key {
+                "policy" => {
+                    cfg.policy = match fields.as_slice() {
+                        ["default"] => PolicyKind::DefaultOnly,
+                        ["strict"] => PolicyKind::Strict,
+                        ["compromise", f] => PolicyKind::Compromise {
+                            factor: f.parse().map_err(|_| fail("bad factor"))?,
+                        },
+                        ["partitioned", f] => PolicyKind::Partitioned {
+                            quota_frac: f.parse().map_err(|_| fail("bad quota"))?,
+                        },
+                        _ => return Err(fail("unknown policy")),
+                    }
+                }
+                "llc" => cfg.llc_capacity = parse_amount(fields.first(), &fail)?,
+                "membw" => cfg.membw_capacity = parse_amount(fields.first(), &fail)?,
+                "audit" => {
+                    cfg.demand_audit = match fields.as_slice() {
+                        ["trust"] => DemandAudit::Trust,
+                        ["clamp"] => DemandAudit::Clamp,
+                        ["reject"] => DemandAudit::Reject,
+                        _ => return Err(fail("unknown audit mode")),
+                    }
+                }
+                "timeout" => {
+                    cfg.waitlist_timeout_cycles = match fields.as_slice() {
+                        ["none"] => None,
+                        [n] => Some(n.parse().map_err(|_| fail("bad timeout"))?),
+                        _ => return Err(fail("expected `timeout none|<cycles>`")),
+                    }
+                }
+                "interval" => {
+                    cfg.min_eval_interval_cycles = match fields.as_slice() {
+                        [n] => n.parse().map_err(|_| fail("bad interval"))?,
+                        _ => return Err(fail("expected `interval <cycles>`")),
+                    }
+                }
+                "begin" => match fields.as_slice() {
+                    [t, process, site, resource, amount] => events.push(TraceEvent::Begin {
+                        t: t.parse().map_err(|_| fail("bad time"))?,
+                        process: process.parse().map_err(|_| fail("bad process"))?,
+                        site: site.parse().map_err(|_| fail("bad site"))?,
+                        resource: match *resource {
+                            "llc" => Resource::Llc,
+                            "membw" => Resource::MemBandwidth,
+                            _ => return Err(fail("resource must be llc|membw")),
+                        },
+                        amount: parse_amount(Some(amount), &fail)?,
+                    }),
+                    _ => return Err(fail("expected `begin <t> <proc> <site> <res> <amount>`")),
+                },
+                "end" => match fields.as_slice() {
+                    [t, pp] => events.push(TraceEvent::End {
+                        t: t.parse().map_err(|_| fail("bad time"))?,
+                        pp: pp.parse().map_err(|_| fail("bad pp id"))?,
+                    }),
+                    _ => return Err(fail("expected `end <t> <pp>`")),
+                },
+                "exit" => match fields.as_slice() {
+                    [t, process] => events.push(TraceEvent::Exit {
+                        t: t.parse().map_err(|_| fail("bad time"))?,
+                        process: process.parse().map_err(|_| fail("bad process"))?,
+                    }),
+                    _ => return Err(fail("expected `exit <t> <process>`")),
+                },
+                "age" => match fields.as_slice() {
+                    [t] => events.push(TraceEvent::Age {
+                        t: t.parse().map_err(|_| fail("bad time"))?,
+                    }),
+                    _ => return Err(fail("expected `age <t>`")),
+                },
+                _ => return Err(fail("unknown directive")),
+            }
+        }
+        Ok(TraceDoc { cfg, events })
+    }
+
+    /// Serialize to the text format. `parse(to_text(d)) == d` for any
+    /// document (amounts are written as raw bytes).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let c = &self.cfg;
+        match c.policy {
+            PolicyKind::DefaultOnly => out.push_str("policy default\n"),
+            PolicyKind::Strict => out.push_str("policy strict\n"),
+            PolicyKind::Compromise { factor } => {
+                let _ = writeln!(out, "policy compromise {factor}");
+            }
+            PolicyKind::Partitioned { quota_frac } => {
+                let _ = writeln!(out, "policy partitioned {quota_frac}");
+            }
+        }
+        let _ = writeln!(out, "llc {}", c.llc_capacity);
+        let _ = writeln!(out, "membw {}", c.membw_capacity);
+        let audit = match c.demand_audit {
+            DemandAudit::Trust => "trust",
+            DemandAudit::Clamp => "clamp",
+            DemandAudit::Reject => "reject",
+        };
+        let _ = writeln!(out, "audit {audit}");
+        match c.waitlist_timeout_cycles {
+            None => out.push_str("timeout none\n"),
+            Some(t) => {
+                let _ = writeln!(out, "timeout {t}");
+            }
+        }
+        let _ = writeln!(out, "interval {}", c.min_eval_interval_cycles);
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Begin {
+                    t,
+                    process,
+                    site,
+                    resource,
+                    amount,
+                } => {
+                    let r = match resource {
+                        Resource::Llc => "llc",
+                        Resource::MemBandwidth => "membw",
+                    };
+                    let _ = writeln!(out, "begin {t} {process} {site} {r} {amount}");
+                }
+                TraceEvent::End { t, pp } => {
+                    let _ = writeln!(out, "end {t} {pp}");
+                }
+                TraceEvent::Exit { t, process } => {
+                    let _ = writeln!(out, "exit {t} {process}");
+                }
+                TraceEvent::Age { t } => {
+                    let _ = writeln!(out, "age {t}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An amount field: a raw byte count, or a decimal with an `mb` suffix
+/// (`10mb`, `6.3mb`).
+fn parse_amount(field: Option<&&str>, fail: &dyn Fn(&str) -> String) -> Result<u64, String> {
+    let s = field.ok_or_else(|| fail("missing amount"))?;
+    if let Some(mbs) = s.strip_suffix("mb") {
+        let v: f64 = mbs.parse().map_err(|_| fail("bad mb amount"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(fail("mb amount must be finite and non-negative"));
+        }
+        Ok(rda_core::mb(v))
+    } else {
+        s.parse().map_err(|_| fail("bad amount"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_header_and_events() {
+        let doc = TraceDoc::parse(
+            "# demo\npolicy compromise 2\nllc 1000\naudit clamp\ntimeout 500\n\
+             begin 0 0 0 llc 600\nbegin 10 1 1 membw 5mb\nend 20 0\nexit 30 1\nage 40\n",
+        )
+        .unwrap();
+        assert_eq!(doc.cfg.policy, PolicyKind::Compromise { factor: 2.0 });
+        assert_eq!(doc.cfg.llc_capacity, 1000);
+        assert_eq!(doc.cfg.demand_audit, DemandAudit::Clamp);
+        assert_eq!(doc.cfg.waitlist_timeout_cycles, Some(500));
+        assert_eq!(doc.events.len(), 5);
+        assert_eq!(
+            doc.events[1],
+            TraceEvent::Begin {
+                t: 10,
+                process: 1,
+                site: 1,
+                resource: Resource::MemBandwidth,
+                amount: rda_core::mb(5.0),
+            }
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let mut doc = TraceDoc::new(vec![
+            TraceEvent::Begin {
+                t: 0,
+                process: 0,
+                site: 3,
+                resource: Resource::Llc,
+                amount: 123_456,
+            },
+            TraceEvent::Age { t: 7 },
+            TraceEvent::End { t: 9, pp: 0 },
+            TraceEvent::Exit { t: 11, process: 0 },
+        ]);
+        doc.cfg.policy = PolicyKind::Partitioned { quota_frac: 0.25 };
+        doc.cfg.waitlist_timeout_cycles = Some(999);
+        let reparsed = TraceDoc::parse(&doc.to_text()).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("begin 0 0 0 llc", "line 1"),
+            ("policy sloppy", "unknown policy"),
+            ("end 0 0\npolicy strict", "header line after the first event"),
+            ("frobnicate 1 2 3", "unknown directive"),
+            ("begin 0 0 0 disk 10", "llc|membw"),
+        ] {
+            let err = TraceDoc::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = TraceDoc::parse("\n# hi\n  # indented\nage 5 # trailing\n").unwrap();
+        assert_eq!(doc.events, vec![TraceEvent::Age { t: 5 }]);
+    }
+}

@@ -51,6 +51,7 @@ use crate::monitor::ResourceMonitor;
 use crate::policy::PolicyKind;
 use crate::predicate::{self, Decision};
 use crate::registry::PpRegistry;
+use crate::snapshot::{PpSnap, Snapshot, WaitSnap};
 use crate::waitlist::{WaitEntry, Waitlist};
 use rda_sched::ProcessId;
 use rda_simcore::SimTime;
@@ -191,6 +192,60 @@ impl RdaExtension {
     /// next to be force-admitted when aging is enabled.
     pub fn oldest_wait(&self, r: Resource) -> Option<SimTime> {
         self.waitlist.oldest(r)
+    }
+
+    /// A complete, comparable snapshot of the observable state: both
+    /// accounting buckets per resource, the waitlists in queue order,
+    /// every live period, the activity counters, and the id-allocator
+    /// position. O(live periods); used by the differential oracle in
+    /// `rda-check` after every replayed event, and cheap enough for
+    /// assertions in ordinary tests.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut usage = [0u64; 2];
+        let mut overflow = [0u64; 2];
+        let mut waitlists: [Vec<WaitSnap>; 2] = [Vec::new(), Vec::new()];
+        for (i, r) in Resource::ALL.into_iter().enumerate() {
+            usage[i] = self.monitor.usage(r);
+            overflow[i] = self.monitor.overflow(r);
+            waitlists[i] = self
+                .waitlist
+                .iter(r)
+                .map(|e| WaitSnap {
+                    pp: e.pp,
+                    accounted: e.accounted,
+                    enqueued_cycles: e.enqueued_at.cycles(),
+                })
+                .collect();
+        }
+        Snapshot {
+            usage,
+            overflow,
+            waitlists,
+            periods: self
+                .registry
+                .iter()
+                .map(|r| PpSnap {
+                    id: r.id,
+                    process: r.process,
+                    site: r.site,
+                    resource: r.demand.resource,
+                    declared: r.demand.amount,
+                    accounted: r.accounted,
+                    admitted: r.admitted,
+                    overflow: r.overflow,
+                })
+                .collect(),
+            stats: self.stats,
+            allocated: self.registry.allocated(),
+        }
+    }
+
+    /// Order-independent digest of the fast-path cache (see
+    /// [`FastPathCache::digest`]). Not part of [`Snapshot`] — the cache
+    /// is an accelerator, not scheduling state — but exposed so the
+    /// differential oracle can compare memoisation state too.
+    pub fn fastpath_digest(&self) -> u64 {
+        self.fastpath.digest()
     }
 
     /// Cycle cost of a call, by path (the simulation charges this to
@@ -478,6 +533,9 @@ impl RdaExtension {
     /// queued behind it.
     fn drain_waitlist(&mut self, resource: Resource, now: SimTime) -> Vec<(PpId, ProcessId)> {
         let mut resumed = Vec::new();
+        // Aging-order assertion: successive force-admissions within one
+        // drain must be strictly oldest-first by enqueue time.
+        let mut last_aged: Option<SimTime> = None;
         loop {
             // Admit while the head fits nominally.
             while let Some(head) = self.waitlist.front(resource) {
@@ -521,6 +579,11 @@ impl RdaExtension {
             let Some(aged) = self.waitlist.pop_expired(resource, now, timeout) else {
                 break;
             };
+            debug_assert!(
+                last_aged.is_none_or(|t| t <= aged.enqueued_at),
+                "aging force-admitted out of oldest-first order"
+            );
+            last_aged = Some(aged.enqueued_at);
             let rec = self
                 .registry
                 .get_mut(aged.pp)
@@ -1030,6 +1093,64 @@ mod tests {
         e.pp_end(hog, t(2_001)).unwrap();
         assert_eq!(e.usage(Resource::Llc), 0);
         e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aging_force_admits_oldest_first_despite_queue_order() {
+        // A non-monotonic caller (trace replay, direct API use) parks
+        // a later-stamped period ahead of an earlier-stamped one.
+        // Aging must force-admit by wait time, not queue position: the
+        // entry that has actually waited past the timeout goes first,
+        // and a younger queue-head must not block it.
+        let cfg = strict_cfg().with_waitlist_timeout_cycles(1_000);
+        let mut e = ext_cfg(cfg);
+        let _hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let young = match begin(&mut e, 1, 0, demand(10.0), t(500)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        let old = match begin(&mut e, 2, 0, demand(10.0), t(100)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        // At t=1200 only the t=100 entry has waited ≥ 1000 cycles.
+        let resumed = e.age_waitlist(t(1_200));
+        assert_eq!(resumed, vec![(old, ProcessId(2))], "oldest-first");
+        assert_eq!(e.waitlist_len(Resource::Llc), 1);
+        // The younger entry ages out later, in its own turn.
+        let resumed = e.age_waitlist(t(1_600));
+        assert_eq!(resumed, vec![(young, ProcessId(1))]);
+        assert_eq!(e.stats().aged_admissions, 2);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_captures_observable_state() {
+        let cfg = strict_cfg().with_waitlist_timeout_cycles(1_000);
+        let mut e = ext_cfg(cfg);
+        let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let waiting = match begin(&mut e, 1, 1, demand(5.0), t(7)) {
+            BeginOutcome::Pause { pp } => pp,
+            other => panic!("{other:?}"),
+        };
+        let s = e.snapshot();
+        assert_eq!(s.usage[0], mb(14.0));
+        assert_eq!(s.overflow, [0, 0]);
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.periods.len(), 2);
+        assert!(s.periods[0].admitted && !s.periods[1].admitted);
+        assert_eq!(s.waitlists[0].len(), 1);
+        assert_eq!(s.waitlists[0][0].pp, waiting);
+        assert_eq!(s.waitlists[0][0].enqueued_cycles, 7);
+        assert_eq!(s.stats, e.stats());
+        assert!(!s.is_idle());
+        // Snapshots are pure reads: identical back-to-back.
+        assert_eq!(s, e.snapshot());
+        assert_eq!(s.digest(), e.snapshot().digest());
+        // Draining everything returns the snapshot to idle.
+        e.pp_end(a, t(10)).unwrap();
+        e.pp_end(waiting, t(11)).unwrap();
+        assert!(e.snapshot().is_idle());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::api::{Resource, SiteId};
 use rda_sched::ProcessId;
-use rda_simcore::SimTime;
+use rda_simcore::{Fnv1a64, SimTime};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +128,32 @@ impl FastPathCache {
     /// Invalidate every cached decision of one process (process exit).
     pub fn invalidate_process(&mut self, process: ProcessId) {
         self.entries.retain(|&(p, _), _| p != process);
+    }
+
+    /// Order-independent digest of the cache contents (entries XORed,
+    /// so the backing `HashMap`'s iteration order cannot leak in). The
+    /// cache is deliberately absent from
+    /// [`crate::snapshot::Snapshot`] — it is an accelerator, not
+    /// scheduling state — but it *does* steer future admissions, so the
+    /// differential oracle and the bounded explorer in `rda-check` use
+    /// this digest to tell apart states whose observable books agree
+    /// while their memoised decisions do not.
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (&(process, site), e) in &self.entries {
+            let mut h = Fnv1a64::new();
+            h.write_u64(process.0 as u64)
+                .write_u64(site.0 as u64)
+                .write_u64(match e.resource {
+                    Resource::Llc => 0,
+                    Resource::MemBandwidth => 1,
+                })
+                .write_u64(e.demand_amount)
+                .write_u64(e.usage_threshold)
+                .write_u64(e.refreshed_at.cycles());
+            acc ^= h.finish();
+        }
+        acc ^ self.entries.len() as u64
     }
 
     /// Number of cached decisions.

@@ -44,6 +44,7 @@ pub mod monitor;
 pub mod policy;
 pub mod predicate;
 pub mod registry;
+pub mod snapshot;
 pub mod waitlist;
 
 pub use api::{mb, PpDemand, PpId, Resource, SiteId};
@@ -52,3 +53,4 @@ pub use error::{InvariantKind, RdaError};
 pub use extension::{BeginOutcome, EndOutcome, RdaExtension, RdaStats};
 pub use policy::PolicyKind;
 pub use predicate::Decision;
+pub use snapshot::{PpSnap, Snapshot, WaitSnap};

@@ -87,6 +87,11 @@ impl PpRegistry {
         id.0 < self.next_id
     }
 
+    /// Number of ids ever allocated (the next id to be handed out).
+    pub fn allocated(&self) -> u64 {
+        self.next_id
+    }
+
     /// Look up a live period.
     pub fn get(&self, id: PpId) -> Option<&PpRecord> {
         self.active.get(&id)

@@ -83,21 +83,28 @@ impl Waitlist {
         self.queue_mut(r).pop_front()
     }
 
-    /// Remove and return the longest-waiting period *if* it has waited
-    /// `timeout` cycles or longer by `now`. Entries are enqueued in
-    /// time order, so repeated calls drain exactly the expired prefix.
+    /// Remove and return the *oldest* expired period: the entry with
+    /// the earliest enqueue time among those that have waited `timeout`
+    /// cycles or longer by `now`. Repeated calls therefore force-admit
+    /// strictly oldest-first per resource — even when a caller enqueued
+    /// with non-monotonic timestamps (trace replay, direct API use) and
+    /// queue position no longer matches wait time.
     pub fn pop_expired(&mut self, r: Resource, now: SimTime, timeout: u64) -> Option<WaitEntry> {
-        let head = self.queue(r).front()?;
-        if now.since(head.enqueued_at).cycles() >= timeout {
-            self.queue_mut(r).pop_front()
-        } else {
-            None
-        }
+        let pos = self
+            .queue(r)
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| now.since(e.enqueued_at).cycles() >= timeout)
+            .min_by_key(|(_, e)| e.enqueued_at)
+            .map(|(i, _)| i)?;
+        self.queue_mut(r).remove(pos)
     }
 
     /// Enqueue time of the longest-waiting period (the next to expire).
+    /// Scans the whole queue rather than trusting queue position, for
+    /// the same non-monotonic-caller reason as [`Self::pop_expired`].
     pub fn oldest(&self, r: Resource) -> Option<SimTime> {
-        self.queue(r).front().map(|e| e.enqueued_at)
+        self.queue(r).iter().map(|e| e.enqueued_at).min()
     }
 
     /// Remove a specific period (e.g. its process was killed).
@@ -212,6 +219,41 @@ mod tests {
         assert_eq!(w.pop_expired(Resource::Llc, now, 400), None);
         assert_eq!(w.len(Resource::Llc), 1);
         assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(900)));
+    }
+
+    #[test]
+    fn expiry_pops_oldest_first_even_when_enqueued_out_of_order() {
+        // A caller with a non-monotonic clock enqueues a later-stamped
+        // entry before an earlier-stamped one. Aging must still
+        // force-admit strictly oldest-first (by enqueue time, i.e.
+        // longest wait), not queue-position-first.
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 500)).unwrap();
+        w.push(Resource::Llc, e_at(2, 10, 100)).unwrap();
+        let now = SimTime::from_cycles(1_200);
+        // Timeout 1000: only the entry enqueued at 100 (waited 1100)
+        // has expired; the queue head (enqueued 500, waited 700) has
+        // not — it must NOT block the expired one behind it.
+        assert_eq!(
+            w.pop_expired(Resource::Llc, now, 1000).unwrap().pp,
+            PpId(2)
+        );
+        assert_eq!(w.pop_expired(Resource::Llc, now, 1000), None);
+        // Once both have expired, the remaining (older-positioned but
+        // younger-stamped) entry drains too.
+        let later = SimTime::from_cycles(1_600);
+        assert_eq!(
+            w.pop_expired(Resource::Llc, later, 1000).unwrap().pp,
+            PpId(1)
+        );
+    }
+
+    #[test]
+    fn oldest_reports_minimum_enqueue_time_not_queue_head() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 500)).unwrap();
+        w.push(Resource::Llc, e_at(2, 10, 100)).unwrap();
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(100)));
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct SimConfig {
     /// Fault injection: when set, a deterministic [`crate::faults::FaultPlan`]
     /// is expanded from `jitter_seed` and applied to the workload.
     pub faults: Option<FaultConfig>,
+    /// Record every call the simulator makes into the RDA extension as
+    /// a [`crate::system::RdaCall`], retrievable from
+    /// [`crate::SystemSim::rda_calls`] after the run. Off by default
+    /// (sweeps do not pay for a log they never read); `rda-check`
+    /// converts the log into a replayable `.trace` document for
+    /// differential checking against the reference model.
+    pub record_rda_calls: bool,
 }
 
 /// Historical default jitter seed; kept so single-run behaviour (and
@@ -69,6 +76,7 @@ impl SimConfig {
             demand_audit: DemandAudit::Trust,
             waitlist_timeout: None,
             faults: None,
+            record_rda_calls: false,
         }
     }
 
@@ -106,6 +114,12 @@ impl SimConfig {
     /// consider enabling waitlist aging alongside).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Record the RDA call log for later differential replay.
+    pub fn with_rda_trace(mut self) -> Self {
+        self.record_rda_calls = true;
         self
     }
 }

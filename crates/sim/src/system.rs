@@ -38,6 +38,47 @@ pub struct RunResult {
     pub timeline: Vec<TimelineSample>,
 }
 
+/// One call the simulator made into the RDA extension, recorded (when
+/// [`SimConfig::record_rda_calls`] is set) in exact call order so the
+/// whole run can be replayed event-by-event against the reference
+/// model in `rda-check`. `Begin` carries the demand *as declared to
+/// the extension* — after any fault-injected lie, before auditing —
+/// and `Age` is recorded only when the aging pass actually admitted
+/// something (no-op ticks leave no observable state behind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdaCall {
+    /// A `pp_begin` call.
+    Begin {
+        /// Call time.
+        now: SimTime,
+        /// Calling process.
+        process: ProcessId,
+        /// Static call site.
+        site: rda_core::SiteId,
+        /// The declared (post-lie, pre-audit) demand.
+        demand: PpDemand,
+    },
+    /// A `pp_end` call (including rejected ones, e.g. double ends).
+    End {
+        /// Call time.
+        now: SimTime,
+        /// The period being ended.
+        pp: rda_core::PpId,
+    },
+    /// A `process_exit` call.
+    Exit {
+        /// Call time.
+        now: SimTime,
+        /// The exiting process.
+        process: ProcessId,
+    },
+    /// An `age_waitlist` call that admitted at least one period.
+    Age {
+        /// Call time.
+        now: SimTime,
+    },
+}
+
 /// One periodic observation of system state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineSample {
@@ -198,6 +239,8 @@ pub struct SystemSim {
     timeline: Vec<TimelineSample>,
     /// Pre-expanded fault schedule (empty unless `SimConfig::faults`).
     faults: FaultPlan,
+    /// RDA call log (empty unless `SimConfig::record_rda_calls`).
+    rda_calls: Vec<RdaCall>,
 }
 
 impl SystemSim {
@@ -271,6 +314,7 @@ impl SystemSim {
                 .map_or(SimTime::MAX, |d| SimTime::ZERO + d),
             timeline: Vec::new(),
             faults,
+            rda_calls: Vec::new(),
             cfg,
         };
         for p in 0..sim.procs.len() {
@@ -282,6 +326,18 @@ impl SystemSim {
     /// Immutable access to the RDA extension (for assertions in tests).
     pub fn rda(&self) -> &RdaExtension {
         &self.rda
+    }
+
+    /// The recorded RDA call log, in call order (empty unless
+    /// [`SimConfig::record_rda_calls`] was set).
+    pub fn rda_calls(&self) -> &[RdaCall] {
+        &self.rda_calls
+    }
+
+    fn record(&mut self, call: RdaCall) {
+        if self.cfg.record_rda_calls {
+            self.rda_calls.push(call);
+        }
     }
 
     /// Current simulated time.
@@ -331,6 +387,12 @@ impl SystemSim {
                         ..pp.demand
                     }
                 };
+                self.record(RdaCall::Begin {
+                    now: self.now,
+                    process: ProcessId(p as u32),
+                    site: pp.site,
+                    demand,
+                });
                 let outcome = self
                     .rda
                     .pp_begin(ProcessId(p as u32), pp.site, demand, self.now);
@@ -383,6 +445,10 @@ impl SystemSim {
         // wake anything the reclaimed capacity admits. A clean exit
         // holds nothing and this is a no-op.
         self.procs[p].pp = None;
+        self.record(RdaCall::Exit {
+            now: self.now,
+            process: ProcessId(p as u32),
+        });
         let resumed = self.rda.process_exit(ProcessId(p as u32), self.now);
         for (_pp, pid) in resumed {
             self.wake_proc(pid.0 as usize);
@@ -423,6 +489,7 @@ impl SystemSim {
                 Vec::new()
             } else {
                 let t0 = self.procs[p].tasks[0].0 as usize;
+                self.record(RdaCall::End { now: self.now, pp });
                 let out = self
                     .rda
                     .pp_end(pp, self.now)
@@ -431,6 +498,7 @@ impl SystemSim {
                 if fault.double_end {
                     // The buggy second end must come back as a typed
                     // rejection, leaving the books untouched.
+                    self.record(RdaCall::End { now: self.now, pp });
                     let second = self.rda.pp_end(pp, self.now);
                     debug_assert_eq!(second, Err(rda_core::RdaError::DoubleEnd(pp)));
                     self.threads[t0].overhead += self.call_cost(false);
@@ -508,6 +576,11 @@ impl SystemSim {
             return;
         }
         let resumed = self.rda.age_waitlist(self.now);
+        if !resumed.is_empty() {
+            // No-op ticks are state-neutral, so only ticks that
+            // admitted something need replaying.
+            self.record(RdaCall::Age { now: self.now });
+        }
         for (_pp, pid) in resumed {
             self.wake_proc(pid.0 as usize);
         }

@@ -1,0 +1,78 @@
+//! Replay every committed `.trace` file under `tests/corpus/` through
+//! the differential oracle.
+//!
+//! The corpus is the project's bug museum: hand-written scenarios
+//! covering each admission and rejection path, plus every shrunk
+//! counterexample the fuzzer or the bounded explorer ever produced.
+//! Each file must parse, survive a text round-trip, and replay with
+//! zero divergence between `rda-core` and the reference model —
+//! forever. To add an entry, paste the shrunk trace printed by a
+//! failing `rda-check` test (or `explore` run) into a new `.trace`
+//! file here.
+
+use rda_check::{replay, TraceDoc};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus/ exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        corpus_files().len() >= 5,
+        "the corpus should cover at least the hand-written scenarios"
+    );
+}
+
+#[test]
+fn every_corpus_trace_replays_without_divergence() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc =
+            TraceDoc::parse(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        assert!(!doc.events.is_empty(), "{name}: no events");
+        // The serializer must be able to re-emit what it parsed.
+        let reparsed = TraceDoc::parse(&doc.to_text())
+            .unwrap_or_else(|e| panic!("{name}: round-trip failed: {e}"));
+        assert_eq!(reparsed, doc, "{name}: round-trip changed the document");
+        let report = replay(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.steps, doc.events.len(), "{name}");
+    }
+}
+
+/// The hand-written scenarios that are *designed* to drain must end
+/// with the books at zero — a corpus entry that silently stops
+/// balancing would weaken the museum.
+#[test]
+fn draining_corpus_traces_end_idle() {
+    for name in [
+        "golden_sweep.trace",
+        "unknown_end.trace",
+        "double_end.trace",
+        "end_while_waitlisted.trace",
+        "audit_reject_overflow.trace",
+        "compromise_aging_overflow.trace",
+        "exit_reclaims_all.trace",
+    ] {
+        let text = std::fs::read_to_string(corpus_dir().join(name)).unwrap();
+        let doc = TraceDoc::parse(&text).unwrap();
+        let report = replay(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            report.final_snapshot.is_idle(),
+            "{name}: books did not return to zero: {:?}",
+            report.final_snapshot
+        );
+    }
+}
