@@ -1,7 +1,7 @@
 //! Run every experiment and write a JSON results bundle.
 use rda_bench::fig12::{ocean_series, render_series, water_series};
 use rda_bench::summary::headline;
-use rda_bench::{headline_runs_with, sweep_args_from_env};
+use rda_bench::{headline_runs_cli, sweep_args_from_env};
 use rda_machine::MachineConfig;
 use rda_sim::concurrency::{figure13, interference_study};
 use rda_sim::overhead::{figure11, granularity_study, N};
@@ -11,7 +11,7 @@ fn main() {
     println!("=== Table 1 ===\n{}", MachineConfig::xeon_e5_2420().to_table());
     println!("=== Table 2 ===\n{}", spec::table2());
 
-    let r = headline_runs_with(&sweep_args_from_env());
+    let r = headline_runs_cli(&sweep_args_from_env());
     println!("sweep digest: {:#018x}", r.digest);
     for fig in &r.figures {
         println!("{}", fig.to_text_table());

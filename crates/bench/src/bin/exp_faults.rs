@@ -12,7 +12,7 @@
 //! cargo run --release -p rda-bench --bin exp_faults -- --threads 8
 //! ```
 
-use rda_bench::sweep_args_from_env;
+use rda_bench::{sweep_args_from_env, TraceBundle};
 use rda_core::{DemandAudit, PolicyKind};
 use rda_sim::runner::{run_sweep_configured, SweepGrid};
 use rda_sim::{FaultConfig, SimConfig};
@@ -22,7 +22,10 @@ use rda_workloads::spec::all_workloads;
 const RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
 
 fn main() {
-    let opts = sweep_args_from_env();
+    let args = sweep_args_from_env();
+    let opts = args.runner;
+    let tracing = args.tracing();
+    let mut bundle = TraceBundle::new();
     let specs = all_workloads();
     let policies = [PolicyKind::Strict, PolicyKind::compromise_default()];
     let grid = SweepGrid::cross(&specs, &policies, 1);
@@ -37,10 +40,15 @@ fn main() {
     let mut digest = Fnv1a64::new();
     for rate in RATES {
         let sweep = run_sweep_configured(&grid, &opts, |cell| {
-            SimConfig::paper_default(cell.policy)
+            let cfg = SimConfig::paper_default(cell.policy)
                 .with_demand_audit(DemandAudit::Clamp)
                 .with_waitlist_timeout_ms(5.0)
-                .with_faults(FaultConfig::uniform(rate))
+                .with_faults(FaultConfig::uniform(rate));
+            if tracing {
+                cfg.with_trace()
+            } else {
+                cfg
+            }
         });
         for err in &sweep.errors {
             eprintln!("FAILED: {err}");
@@ -48,6 +56,7 @@ fn main() {
         if !sweep.errors.is_empty() {
             std::process::exit(1);
         }
+        bundle.add_records(&format!("rate{rate:.2}:"), &sweep.records);
         digest.write_u64(rate.to_bits()).write_u64(sweep.digest());
 
         for policy in policies {
@@ -82,4 +91,7 @@ fn main() {
 
     println!();
     println!("sweep digest: {:#018x}", digest.finish());
+    if let Some(path) = &args.trace_out {
+        bundle.write_or_die(path);
+    }
 }

@@ -1,7 +1,7 @@
 //! Reproduce Figure 10: GFLOPS per Watt per workload × policy.
-use rda_bench::{headline_runs_with, sweep_args_from_env};
+use rda_bench::{headline_runs_cli, sweep_args_from_env};
 
 fn main() {
-    let r = headline_runs_with(&sweep_args_from_env());
+    let r = headline_runs_cli(&sweep_args_from_env());
     println!("{}", r.fig10().to_text_table());
 }

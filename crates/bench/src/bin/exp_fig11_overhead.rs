@@ -1,5 +1,11 @@
-//! Reproduce Figure 11: progress-tracking overhead vs granularity.
-use rda_sim::overhead::{figure11, granularity_study, N};
+//! Reproduce Figure 11: progress-tracking overhead vs granularity,
+//! then measure the observability layer's own cost and enforce its
+//! budget: tracing must be digest-neutral and < 5 % host overhead
+//! (exit code 1 otherwise — CI runs this binary as the budget check).
+use rda_sim::overhead::{figure11, granularity_study, trace_overhead_study, N};
+
+/// Hard ceiling on the host-time cost of tracing.
+const TRACE_BUDGET: f64 = 0.05;
 
 fn main() {
     let pts = granularity_study(N);
@@ -15,4 +21,31 @@ fn main() {
         );
     }
     println!("\n(paper: no-pp ~0 %, middle ~19 %, inner ~59 % overhead)");
+
+    let o = trace_overhead_study(8);
+    println!("\n=== tracing overhead (rda-trace) ===");
+    println!(
+        "untraced {:.4}s  traced {:.4}s  overhead {:+.2} %  events {}  digest-neutral {}",
+        o.base_secs,
+        o.traced_secs,
+        o.overhead * 100.0,
+        o.events,
+        o.digest_neutral
+    );
+    if !o.digest_neutral {
+        eprintln!("FAIL: tracing changed the run digest");
+        std::process::exit(1);
+    }
+    if o.overhead > TRACE_BUDGET {
+        eprintln!(
+            "FAIL: tracing overhead {:.2} % exceeds the {:.0} % budget",
+            o.overhead * 100.0,
+            TRACE_BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "tracing budget OK (< {:.0} % and digest-neutral)",
+        TRACE_BUDGET * 100.0
+    );
 }

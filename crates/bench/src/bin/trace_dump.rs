@@ -1,0 +1,133 @@
+//! Run one traced simulation and print its timeline + summary table;
+//! optionally also export the trace as Chrome trace-event JSON.
+//!
+//! ```bash
+//! cargo run --release -p rda-bench --bin trace_dump -- \
+//!     --workload Water_nsq --policy strict --faults 0.25 --trace-out t.json
+//! ```
+//!
+//! The text rendering (`rda_trace::render_text`) goes to stdout; with
+//! `--trace-out PATH` the same trace is also written as a Perfetto /
+//! `chrome://tracing` loadable document.
+
+use rda_bench::TraceBundle;
+use rda_core::{DemandAudit, PolicyKind};
+use rda_machine::MachineConfig;
+use rda_sim::{FaultConfig, SimConfig, SystemSim};
+use rda_workloads::spec::all_workloads;
+use std::path::PathBuf;
+
+const USAGE: &str = "options:
+  --workload NAME   workload to run (default Water_nsq; see exp_table2)
+  --policy P        default | strict | compromise (default strict)
+  --faults RATE     inject faults at RATE in [0,1] (enables clamp+aging)
+  --trace-out PATH  also write Chrome trace-event JSON to PATH
+  --help            print this help";
+
+struct Args {
+    workload: String,
+    policy: PolicyKind,
+    faults: Option<f64>,
+    trace_out: Option<PathBuf>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut parsed = Args {
+        workload: "Water_nsq".to_string(),
+        policy: PolicyKind::Strict,
+        faults: None,
+        trace_out: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--workload" => parsed.workload = value("--workload")?,
+            "--policy" => {
+                let v = value("--policy")?;
+                parsed.policy = match v.as_str() {
+                    "default" => PolicyKind::DefaultOnly,
+                    "strict" => PolicyKind::Strict,
+                    "compromise" => PolicyKind::compromise_default(),
+                    other => return Err(format!("unknown policy '{other}'\n{USAGE}")),
+                };
+            }
+            "--faults" => {
+                let v = value("--faults")?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad --faults value '{v}'"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--faults rate {rate} outside [0, 1]"));
+                }
+                parsed.faults = Some(rate);
+            }
+            "--trace-out" => parsed.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) if msg == "help" => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let specs = all_workloads();
+    let Some(spec) = specs
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&args.workload))
+    else {
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        eprintln!(
+            "unknown workload '{}'; available: {}",
+            args.workload,
+            names.join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let mut cfg = SimConfig::paper_default(args.policy).with_trace();
+    if let Some(rate) = args.faults {
+        // Match exp_faults: recovery machinery on when injecting.
+        cfg = cfg
+            .with_demand_audit(DemandAudit::Clamp)
+            .with_waitlist_timeout_ms(5.0)
+            .with_faults(FaultConfig::uniform(rate));
+    }
+
+    let result = match SystemSim::new(cfg, spec).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = result.trace.as_ref().expect("tracing was enabled");
+
+    let label = match args.faults {
+        Some(rate) => format!("rate{rate:.2}:{}/{}", spec.name, args.policy),
+        None => format!("{}/{}", spec.name, args.policy),
+    };
+    print!(
+        "{}",
+        rda_trace::render_text(&label, report, MachineConfig::xeon_e5_2420().freq_hz)
+    );
+
+    if let Some(path) = &args.trace_out {
+        let mut bundle = TraceBundle::new();
+        bundle.add(label, report.clone());
+        bundle.write_or_die(path);
+    }
+}

@@ -1,34 +1,56 @@
 //! Command-line options shared by every `exp_*` binary.
 //!
-//! All sweep binaries accept the same three flags:
+//! All sweep binaries accept the same flags:
 //!
 //! * `--threads N` — worker threads (`0` = all cores, the default);
 //! * `--root-seed S` — root seed of every run's derived RNG stream
 //!   (decimal or `0x`-prefixed hex);
 //! * `--shard I/M` — run only cells whose global index ≡ I (mod M),
-//!   for splitting a sweep across processes or machines.
+//!   for splitting a sweep across processes or machines;
+//! * `--trace-out PATH` — run the sweep with observability tracing on
+//!   and write every cell's trace as one Chrome trace-event JSON
+//!   document (open with Perfetto / `chrome://tracing`).
 //!
 //! Because every cell's stream depends only on `(root seed, grid
 //! index)`, any combination of `--threads` and `--shard` produces
-//! bit-identical per-cell results.
+//! bit-identical per-cell results; tracing is digest-neutral, so
+//! `--trace-out` cannot change them either.
 
 use rda_sim::runner::{RunnerOptions, Shard};
+use std::path::PathBuf;
 
 /// Usage text shared by the binaries.
 pub const SWEEP_USAGE: &str = "options:
-  --threads N      worker threads (0 = all cores; default 0)
-  --root-seed S    root seed, decimal or 0x-hex (default: built-in)
-  --shard I/M      run only cells with index ≡ I (mod M)
-  --help           print this help";
+  --threads N       worker threads (0 = all cores; default 0)
+  --root-seed S     root seed, decimal or 0x-hex (default: built-in)
+  --shard I/M       run only cells with index ≡ I (mod M)
+  --trace-out PATH  record traces; write Chrome trace-event JSON to PATH
+  --help            print this help";
+
+/// Everything the shared sweep CLI can express.
+#[derive(Debug, Clone, Default)]
+pub struct SweepArgs {
+    /// How to execute the sweep.
+    pub runner: RunnerOptions,
+    /// When set, enable tracing and export the sweep's traces here.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl SweepArgs {
+    /// Whether tracing should be enabled for this invocation.
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some()
+    }
+}
 
 /// Parse sweep flags from an argument iterator (binary name already
 /// stripped). Returns `Err` with a message on bad input; `--help` is
 /// reported as `Err("help")` for the caller to print usage and exit 0.
-pub fn parse_sweep_args<I>(args: I) -> Result<RunnerOptions, String>
+pub fn parse_sweep_args<I>(args: I) -> Result<SweepArgs, String>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut opts = RunnerOptions::default();
+    let mut parsed = SweepArgs::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -38,30 +60,33 @@ where
         match arg.as_str() {
             "--threads" => {
                 let v = value("--threads")?;
-                opts.threads = v
+                parsed.runner.threads = v
                     .parse()
                     .map_err(|_| format!("bad --threads value '{v}'"))?;
             }
             "--root-seed" => {
                 let v = value("--root-seed")?;
-                opts.root_seed = parse_seed(&v)?;
+                parsed.runner.root_seed = parse_seed(&v)?;
             }
             "--shard" => {
                 let v = value("--shard")?;
-                opts.shard = Some(Shard::parse(&v)?);
+                parsed.runner.shard = Some(Shard::parse(&v)?);
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(value("--trace-out")?));
             }
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option '{other}'\n{SWEEP_USAGE}")),
         }
     }
-    Ok(opts)
+    Ok(parsed)
 }
 
 /// Parse sweep flags from the process environment, printing usage and
 /// exiting on `--help` or errors.
-pub fn sweep_args_from_env() -> RunnerOptions {
+pub fn sweep_args_from_env() -> SweepArgs {
     match parse_sweep_args(std::env::args().skip(1)) {
-        Ok(opts) => opts,
+        Ok(parsed) => parsed,
         Err(msg) if msg == "help" => {
             println!("{SWEEP_USAGE}");
             std::process::exit(0);
@@ -86,29 +111,37 @@ mod tests {
     use super::*;
     use rda_sim::runner::DEFAULT_ROOT_SEED;
 
-    fn parse(args: &[&str]) -> Result<RunnerOptions, String> {
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
         parse_sweep_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_when_no_flags() {
-        let o = parse(&[]).unwrap();
-        assert_eq!(o.threads, 0);
-        assert_eq!(o.root_seed, DEFAULT_ROOT_SEED);
-        assert!(o.shard.is_none());
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.runner.threads, 0);
+        assert_eq!(a.runner.root_seed, DEFAULT_ROOT_SEED);
+        assert!(a.runner.shard.is_none());
+        assert!(a.trace_out.is_none());
+        assert!(!a.tracing());
     }
 
     #[test]
     fn all_flags_parse() {
-        let o = parse(&["--threads", "8", "--root-seed", "0xDEAD", "--shard", "1/4"]).unwrap();
-        assert_eq!(o.threads, 8);
-        assert_eq!(o.root_seed, 0xDEAD);
-        assert_eq!(o.shard, Some(Shard { index: 1, count: 4 }));
+        let a = parse(&[
+            "--threads", "8", "--root-seed", "0xDEAD", "--shard", "1/4", "--trace-out",
+            "/tmp/t.json",
+        ])
+        .unwrap();
+        assert_eq!(a.runner.threads, 8);
+        assert_eq!(a.runner.root_seed, 0xDEAD);
+        assert_eq!(a.runner.shard, Some(Shard { index: 1, count: 4 }));
+        assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert!(a.tracing());
     }
 
     #[test]
     fn decimal_seed_parses() {
-        assert_eq!(parse(&["--root-seed", "42"]).unwrap().root_seed, 42);
+        assert_eq!(parse(&["--root-seed", "42"]).unwrap().runner.root_seed, 42);
     }
 
     #[test]
@@ -116,6 +149,7 @@ mod tests {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "x"]).is_err());
         assert!(parse(&["--shard", "4/4"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
     }

@@ -7,9 +7,12 @@
 //! thread count, shard layout, and completion order cannot change
 //! them.
 
+use crate::cli::SweepArgs;
+use crate::traceout::TraceBundle;
 use rda_metrics::FigureData;
 use rda_sim::experiment::{headline_figures, paper_policies, PolicyRun};
-use rda_sim::runner::{run_sweep, RunnerOptions, SweepGrid, SweepResult};
+use rda_sim::runner::{run_sweep_configured, RunnerOptions, SweepGrid, SweepResult};
+use rda_sim::SimConfig;
 use rda_workloads::spec::all_workloads;
 
 /// The completed sweep.
@@ -30,9 +33,33 @@ pub fn headline_grid() -> SweepGrid {
 
 /// Run the full sweep with explicit runner options.
 pub fn headline_runs_with(opts: &RunnerOptions) -> HeadlineResults {
-    let sweep: SweepResult = run_sweep(&headline_grid(), opts);
+    headline_runs_cli(&SweepArgs {
+        runner: *opts,
+        trace_out: None,
+    })
+}
+
+/// Run the full sweep as the shared `exp_*` CLI specifies: honours the
+/// runner options, and when `--trace-out` was given, executes every
+/// cell with tracing on (digest-neutral) and writes the merged Chrome
+/// trace-event document before returning.
+pub fn headline_runs_cli(args: &SweepArgs) -> HeadlineResults {
+    let tracing = args.tracing();
+    let sweep: SweepResult = run_sweep_configured(&headline_grid(), &args.runner, |cell| {
+        let cfg = SimConfig::paper_default(cell.policy);
+        if tracing {
+            cfg.with_trace()
+        } else {
+            cfg
+        }
+    });
     if let Some(err) = sweep.errors.first() {
         panic!("headline sweep failed: {err}");
+    }
+    if let Some(path) = &args.trace_out {
+        let mut bundle = TraceBundle::new();
+        bundle.add_records("", &sweep.records);
+        bundle.write_or_die(path);
     }
     let digest = sweep.digest();
     let runs = sweep.policy_runs();

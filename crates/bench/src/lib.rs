@@ -24,6 +24,8 @@ pub mod cli;
 pub mod fig12;
 pub mod headline;
 pub mod summary;
+pub mod traceout;
 
-pub use cli::sweep_args_from_env;
-pub use headline::{headline_runs, headline_runs_with, HeadlineResults};
+pub use cli::{sweep_args_from_env, SweepArgs};
+pub use headline::{headline_runs, headline_runs_cli, headline_runs_with, HeadlineResults};
+pub use traceout::TraceBundle;

@@ -55,6 +55,7 @@ use crate::snapshot::{PpSnap, Snapshot, WaitSnap};
 use crate::waitlist::{WaitEntry, Waitlist};
 use rda_sched::ProcessId;
 use rda_simcore::SimTime;
+use rda_trace::{EventKind, RejectKind, TraceEvent, TraceResource, TraceSink};
 
 /// Activity counters of the extension.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -132,6 +133,11 @@ pub struct RdaExtension {
     waitlist: Waitlist,
     fastpath: FastPathCache,
     stats: RdaStats,
+    /// Optional observability sink. `None` (the default) is zero-cost:
+    /// every emission site is one branch on the option. Events never
+    /// feed back into scheduling decisions, so run digests are
+    /// byte-identical with tracing on or off.
+    sink: Option<TraceSink>,
 }
 
 impl RdaExtension {
@@ -143,7 +149,44 @@ impl RdaExtension {
             waitlist: Waitlist::new(),
             fastpath: FastPathCache::new(),
             stats: RdaStats::default(),
+            sink: None,
             cfg,
+        }
+    }
+
+    /// Attach a trace sink; subsequent calls emit events into it.
+    pub fn install_trace(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Mutable access to the attached trace sink (the simulation uses
+    /// this to record occupancy samples alongside the event stream).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceSink> {
+        self.sink.as_mut()
+    }
+
+    /// Detach the trace sink, e.g. to freeze it into a report at end of
+    /// run.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
+    }
+
+    fn trace_resource(r: Resource) -> TraceResource {
+        match r {
+            Resource::Llc => TraceResource::Llc,
+            Resource::MemBandwidth => TraceResource::MemBandwidth,
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(ev);
         }
     }
 
@@ -305,10 +348,24 @@ impl RdaExtension {
         self.stats.begins += 1;
         let resource = demand.resource;
         let capacity = self.monitor.capacity(resource);
+        let mut ev = TraceEvent::at(now.cycles(), EventKind::Begin);
+        ev.process = process.0;
+        ev.site = site.0;
+        ev.resource = Self::trace_resource(resource);
+        ev.amount = demand.amount;
+        self.emit(ev);
 
         // Demand audit: a lying process must not be able to poison the
         // load table with an impossible declaration.
-        let audited = self.audit_demand(resource, demand.amount)?;
+        let audited = match self.audit_demand(resource, demand.amount) {
+            Ok(amount) => amount,
+            Err(err) => {
+                ev.kind = EventKind::Reject;
+                ev.reject = RejectKind::DemandOverflow;
+                self.emit(ev);
+                return Err(err);
+            }
+        };
         let demand = PpDemand {
             amount: audited,
             ..demand
@@ -318,6 +375,9 @@ impl RdaExtension {
         // accounting this demand must not wrap the usage word.
         if self.monitor.usage(resource).checked_add(accounted).is_none() {
             self.stats.clamped += 1;
+            ev.kind = EventKind::Reject;
+            ev.reject = RejectKind::DemandOverflow;
+            self.emit(ev);
             return Err(RdaError::DemandOverflow {
                 resource,
                 declared: demand.amount,
@@ -344,6 +404,11 @@ impl RdaExtension {
                 .register(process, site, demand, accounted, true, now);
             self.stats.admitted += 1;
             self.stats.fast_begins += 1;
+            ev.kind = EventKind::Admit;
+            ev.pp = pp.0;
+            ev.amount = accounted;
+            ev.fast = true;
+            self.emit(ev);
             return Ok(BeginOutcome::Run { pp, fast: true });
         }
 
@@ -366,6 +431,10 @@ impl RdaExtension {
                     .saturating_sub(accounted);
                 self.fastpath
                     .store_run(process, site, resource, audited, threshold, now);
+                ev.kind = EventKind::Admit;
+                ev.pp = pp.0;
+                ev.amount = accounted;
+                self.emit(ev);
                 Ok(BeginOutcome::Run { pp, fast: false })
             }
             Decision::Pause => {
@@ -387,6 +456,10 @@ impl RdaExtension {
                     .stats
                     .max_waitlist
                     .max(self.waitlist.len(resource) as u64);
+                ev.kind = EventKind::Pause;
+                ev.pp = pp.0;
+                ev.amount = accounted;
+                self.emit(ev);
                 Ok(BeginOutcome::Pause { pp })
             }
         }
@@ -405,16 +478,29 @@ impl RdaExtension {
     /// is untouched on every error path.
     pub fn pp_end(&mut self, pp: PpId, now: SimTime) -> Result<EndOutcome, RdaError> {
         self.stats.ends += 1;
+        let mut ev = TraceEvent::at(now.cycles(), EventKind::End);
+        ev.pp = pp.0;
         let Some(live) = self.registry.get(pp) else {
             self.stats.rejected_ends += 1;
-            return Err(if self.registry.was_allocated(pp) {
-                RdaError::DoubleEnd(pp)
+            let (err, reject) = if self.registry.was_allocated(pp) {
+                (RdaError::DoubleEnd(pp), RejectKind::DoubleEnd)
             } else {
-                RdaError::UnknownPp(pp)
-            });
+                (RdaError::UnknownPp(pp), RejectKind::UnknownPp)
+            };
+            ev.kind = EventKind::Reject;
+            ev.reject = reject;
+            self.emit(ev);
+            return Err(err);
         };
         if !live.admitted {
+            let process = live.process.0;
+            let site = live.site.0;
             self.stats.rejected_ends += 1;
+            ev.kind = EventKind::Reject;
+            ev.reject = RejectKind::EndWhileWaitlisted;
+            ev.process = process;
+            ev.site = site;
+            self.emit(ev);
             return Err(RdaError::EndWhileWaitlisted(pp));
         }
         // Unreachable `expect`: `get` returned the record above and
@@ -422,11 +508,16 @@ impl RdaExtension {
         let record = self.registry.complete(pp).expect("record checked live");
         let resource = record.demand.resource;
         self.release(&record);
+        ev.process = record.process.0;
+        ev.site = record.site.0;
+        ev.resource = Self::trace_resource(resource);
+        ev.amount = record.accounted;
 
+        let no_waiters = self.waitlist.len(resource) == 0;
         // Fast path: nothing can be woken (no waiters) *and* the site
         // was validated recently, so the release is a shared-page
         // decrement with deferred registry cleanup.
-        if self.waitlist.len(resource) == 0
+        if no_waiters
             && self.fastpath.is_fresh(
                 record.process,
                 record.site,
@@ -435,13 +526,16 @@ impl RdaExtension {
             )
         {
             self.stats.fast_ends += 1;
+            ev.fast = true;
+            self.emit(ev);
             return Ok(EndOutcome {
                 fast: true,
                 resumed: Vec::new(),
             });
         }
+        self.emit(ev);
         // Slow completion with no waiters: nothing to resume.
-        if self.waitlist.len(resource) == 0 {
+        if no_waiters {
             return Ok(EndOutcome {
                 fast: false,
                 resumed: Vec::new(),
@@ -485,6 +579,7 @@ impl RdaExtension {
             .map(|r| r.id)
             .collect();
         let had_any = !live.is_empty();
+        let reclaimed = live.len() as u64;
         for pp in live {
             // Unreachable `expect`: ids were collected from the
             // registry in this same critical section.
@@ -497,6 +592,10 @@ impl RdaExtension {
             self.stats.reclaimed += 1;
         }
         self.fastpath.invalidate_process(process);
+        let mut ev = TraceEvent::at(now.cycles(), EventKind::Exit);
+        ev.process = process.0;
+        ev.amount = reclaimed;
+        self.emit(ev);
         if !had_any {
             return Vec::new();
         }
@@ -569,6 +668,14 @@ impl RdaExtension {
                 self.fastpath
                     .store_run(process, site, resource, amount, threshold, now);
                 self.stats.resumed += 1;
+                let mut ev = TraceEvent::at(now.cycles(), EventKind::Resume);
+                ev.process = process.0;
+                ev.site = site.0;
+                ev.pp = head.pp.0;
+                ev.resource = Self::trace_resource(resource);
+                ev.amount = head.accounted;
+                ev.wait_cycles = now.cycles().saturating_sub(head.enqueued_at.cycles());
+                self.emit(ev);
                 resumed.push((head.pp, process));
             }
             // The head (if any) does not fit. Aging: force-admit it
@@ -591,8 +698,17 @@ impl RdaExtension {
             rec.admitted = true;
             rec.overflow = true;
             let process = rec.process;
+            let site = rec.site;
             self.monitor.increment_overflow(resource, aged.accounted);
             self.stats.aged_admissions += 1;
+            let mut ev = TraceEvent::at(now.cycles(), EventKind::Age);
+            ev.process = process.0;
+            ev.site = site.0;
+            ev.pp = aged.pp.0;
+            ev.resource = Self::trace_resource(resource);
+            ev.amount = aged.accounted;
+            ev.wait_cycles = now.cycles().saturating_sub(aged.enqueued_at.cycles());
+            self.emit(ev);
             resumed.push((aged.pp, process));
             // Re-walk: removing the blocking head may let queued
             // periods fit nominally now.
@@ -1251,6 +1367,53 @@ mod tests {
     fn call_costs_reflect_path() {
         let e = ext(PolicyKind::Strict);
         assert!(e.call_cost_cycles(true) < e.call_cost_cycles(false));
+    }
+
+    #[test]
+    fn tracing_records_lifecycle_without_changing_state() {
+        use rda_trace::{EventKind as K, TraceConfig};
+        let mut traced = ext_cfg(strict_cfg().with_waitlist_timeout_cycles(1_000));
+        traced.install_trace(TraceSink::new(TraceConfig::default()));
+        let mut plain = ext_cfg(strict_cfg().with_waitlist_timeout_cycles(1_000));
+        // Identical call sequence on both twins.
+        for e in [&mut traced, &mut plain] {
+            let a = must_run(e, 0, 0, demand(14.0), t(0));
+            assert!(matches!(
+                begin(e, 1, 0, demand(10.0), t(10)),
+                BeginOutcome::Pause { .. }
+            ));
+            let _ = e.age_waitlist(t(2_000));
+            e.pp_end(a, t(2_100)).unwrap();
+            let _ = e.process_exit(ProcessId(1), t(2_200));
+            assert!(e.pp_end(PpId(999), t(2_300)).is_err());
+        }
+        assert_eq!(
+            traced.snapshot(),
+            plain.snapshot(),
+            "tracing must never perturb observable state"
+        );
+        assert_eq!(traced.fastpath_digest(), plain.fastpath_digest());
+
+        let report = traced.take_trace().expect("sink installed").into_report();
+        assert!(traced.trace().is_none(), "sink detached");
+        let kinds: Vec<K> = report.events.iter().map(|e| e.kind).collect();
+        for k in [K::Begin, K::Admit, K::Pause, K::Age, K::End, K::Exit, K::Reject] {
+            assert!(kinds.contains(&k), "missing {k:?} in {kinds:?}");
+        }
+        assert_eq!(report.counts.begins, 2);
+        assert_eq!(report.counts.aged, 1);
+        assert_eq!(report.counts.rejects, 1);
+        assert_eq!(report.wait.samples, 1);
+        assert_eq!(report.wait.max, 1_990, "aged waiter enqueued at t=10, aged at t=2000");
+    }
+
+    #[test]
+    fn untraced_extension_has_no_sink() {
+        let mut e = ext(PolicyKind::Strict);
+        assert!(e.trace().is_none());
+        assert!(e.take_trace().is_none());
+        let pp = must_run(&mut e, 0, 0, demand(1.0), t(0));
+        e.pp_end(pp, t(1)).unwrap();
     }
 
     #[test]

@@ -309,13 +309,43 @@ impl Parser<'_> {
         }
     }
 
+    /// Consume a run of ASCII digits, returning how many were taken.
+    fn digit_run(&mut self) -> usize {
+        let mut n = 0;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Scan one number following the JSON grammar
+    /// (`-? digits ('.' digits)? ([eE] [+-]? digits)?`), stopping at
+    /// the first byte that cannot extend a valid number. The previous
+    /// scanner greedily consumed any of `-+.eE` anywhere, so malformed
+    /// tokens like `1-2` were swallowed whole and misreported as one
+    /// bad number instead of being rejected at the offending byte.
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if self.digit_run() == 0 {
+            return Err(format!("expected digit at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(format!("expected digit at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
-            } else {
-                break;
+            }
+            if self.digit_run() == 0 {
+                return Err(format!("expected digit at byte {}", self.pos));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
@@ -427,6 +457,63 @@ mod tests {
     fn parser_rejects_malformed_input() {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "[] []"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_fail_at_the_first_invalid_byte() {
+        // The old scanner greedily consumed any of `-+.eE`, so tokens
+        // like "1-2" were swallowed whole. Each case pins the exact
+        // error message and byte offset the grammar-driven scanner
+        // reports.
+        for (bad, err) in [
+            ("1-2", "trailing data at byte 1"),
+            ("[1-2]", "expected ',' or ']' at byte 2"),
+            ("1e+", "expected digit at byte 3"),
+            ("1e", "expected digit at byte 2"),
+            ("1.", "expected digit at byte 2"),
+            ("-", "expected digit at byte 1"),
+            ("1..2", "expected digit at byte 2"),
+            ("1e5e5", "trailing data at byte 3"),
+            ("1.2.3", "trailing data at byte 3"),
+            ("[1, 2e+]", "expected digit at byte 7"),
+            ("{\"a\": 3.}", "expected digit at byte 8"),
+        ] {
+            assert_eq!(Json::parse(bad).unwrap_err(), err, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn well_formed_numbers_still_parse() {
+        let cases: [(&str, f64); 6] = [
+            ("1e+5", 1e5),
+            ("1E-3", 1e-3),
+            ("-0.5e2", -50.0),
+            ("0.25", 0.25),
+            ("-0", -0.0),
+            ("12e00", 12.0),
+        ];
+        for (text, want) in cases {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.as_f64().unwrap().to_bits(), want.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn random_finite_floats_roundtrip_bit_exactly() {
+        // Poor-man's fuzz: pump the deterministic SplitMix64 stream
+        // through f64::from_bits and demand print → parse be the
+        // identity on every finite value.
+        let mut rng = rda_simcore::rng::SplitMix64::new(0x4a50_4e55_4d42_5251);
+        let mut checked = 0u32;
+        while checked < 2_000 {
+            let x = f64::from_bits(rng.next_u64());
+            if !x.is_finite() {
+                continue;
+            }
+            let back = Json::parse(&Json::Num(x).to_string_compact()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{x:e}");
+            checked += 1;
         }
     }
 

@@ -11,6 +11,7 @@
 use crate::runqueue::RunQueue;
 use crate::task::{ProcessId, Task, TaskId, TaskState};
 use rda_machine::MachineConfig;
+use std::fmt;
 
 /// Static scheduler parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +24,37 @@ pub struct SchedConfig {
     pub min_granularity_cycles: u64,
 }
 
+/// Typed reasons a [`SchedConfig`] is unusable.
+///
+/// Before this check existed, a zero-core config survived construction
+/// and `select_core` later panicked deep inside wake-time placement
+/// (`min().unwrap()` over an empty core range) — far from the bad
+/// input. Validation moves the failure to the constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedConfigError {
+    /// `cores == 0`: there is no queue to place a woken task on.
+    NoCores,
+    /// `sched_latency_cycles == 0`: the fairness target is degenerate.
+    ZeroLatency,
+    /// `min_granularity_cycles == 0`: timeslices could collapse to
+    /// zero cycles.
+    ZeroGranularity,
+}
+
+impl fmt::Display for SchedConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedConfigError::NoCores => write!(f, "cores must be > 0"),
+            SchedConfigError::ZeroLatency => write!(f, "sched_latency_cycles must be > 0"),
+            SchedConfigError::ZeroGranularity => {
+                write!(f, "min_granularity_cycles must be > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedConfigError {}
+
 impl SchedConfig {
     /// Derive from a machine configuration.
     pub fn from_machine(m: &MachineConfig) -> Self {
@@ -31,6 +63,20 @@ impl SchedConfig {
             sched_latency_cycles: m.sched_latency_cycles,
             min_granularity_cycles: m.min_granularity_cycles,
         }
+    }
+
+    /// Check the parameters are usable (see [`SchedConfigError`]).
+    pub fn validate(&self) -> Result<(), SchedConfigError> {
+        if self.cores == 0 {
+            return Err(SchedConfigError::NoCores);
+        }
+        if self.sched_latency_cycles == 0 {
+            return Err(SchedConfigError::ZeroLatency);
+        }
+        if self.min_granularity_cycles == 0 {
+            return Err(SchedConfigError::ZeroGranularity);
+        }
+        Ok(())
     }
 }
 
@@ -45,6 +91,9 @@ pub struct SchedStats {
     pub balance_moves: u64,
     /// Wake events processed.
     pub wakeups: u64,
+    /// Idle-steal attempts whose chosen victim queue turned out empty
+    /// at pop time. Diagnostic only — not part of run digests.
+    pub steal_misses: u64,
 }
 
 /// The scheduler: task table + per-core queues + occupancy.
@@ -60,10 +109,11 @@ pub struct CfsScheduler {
 }
 
 impl CfsScheduler {
-    /// Create a scheduler with no tasks.
-    pub fn new(cfg: SchedConfig) -> Self {
-        assert!(cfg.cores > 0, "need at least one core");
-        CfsScheduler {
+    /// Create a scheduler with no tasks, validating the configuration
+    /// first (see [`SchedConfigError`]).
+    pub fn try_new(cfg: SchedConfig) -> Result<Self, SchedConfigError> {
+        cfg.validate()?;
+        Ok(CfsScheduler {
             queues: (0..cfg.cores).map(|_| RunQueue::new()).collect(),
             running: vec![None; cfg.cores],
             prev_on_core: vec![None; cfg.cores],
@@ -71,6 +121,19 @@ impl CfsScheduler {
             tasks: Vec::new(),
             queued_core: Vec::new(),
             stats: SchedStats::default(),
+        })
+    }
+
+    /// Create a scheduler with no tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`SchedConfig::validate`];
+    /// use [`Self::try_new`] to handle that as a typed error.
+    pub fn new(cfg: SchedConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid scheduler config: {e}"),
         }
     }
 
@@ -323,7 +386,12 @@ impl CfsScheduler {
         if len == 0 {
             return false;
         }
-        let (_, id) = self.queues[victim].pop_rightmost().unwrap();
+        // The victim's length was read above, but pop defensively: a
+        // miss is a counted no-op, never a panic mid-balance.
+        let Some((_, id)) = self.queues[victim].pop_rightmost() else {
+            self.stats.steal_misses += 1;
+            return false;
+        };
         let idx = id.0 as usize;
         let placed = self.queues[core].place_vruntime(self.tasks[idx].vruntime);
         self.tasks[idx].vruntime = placed;
@@ -648,6 +716,72 @@ mod tests {
         s.block(t);
         assert_eq!(s.active_tasks().count(), 2);
         let _ = ids;
+    }
+
+    #[test]
+    fn zero_core_config_is_a_typed_error_not_a_panic() {
+        // Regression: this config used to survive construction and
+        // panic later inside `select_core` on the first wake.
+        let cfg = SchedConfig {
+            cores: 0,
+            sched_latency_cycles: 12_000,
+            min_granularity_cycles: 1_500,
+        };
+        assert_eq!(cfg.validate(), Err(SchedConfigError::NoCores));
+        assert!(matches!(
+            CfsScheduler::try_new(cfg),
+            Err(SchedConfigError::NoCores)
+        ));
+    }
+
+    #[test]
+    fn degenerate_timing_configs_are_typed_errors() {
+        let zero_latency = SchedConfig {
+            cores: 2,
+            sched_latency_cycles: 0,
+            min_granularity_cycles: 1_500,
+        };
+        assert_eq!(
+            CfsScheduler::try_new(zero_latency).unwrap_err(),
+            SchedConfigError::ZeroLatency
+        );
+        let zero_gran = SchedConfig {
+            cores: 2,
+            sched_latency_cycles: 12_000,
+            min_granularity_cycles: 0,
+        };
+        assert_eq!(
+            CfsScheduler::try_new(zero_gran).unwrap_err(),
+            SchedConfigError::ZeroGranularity
+        );
+        assert_eq!(
+            SchedConfigError::NoCores.to_string(),
+            "cores must be > 0"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scheduler config: cores must be > 0")]
+    fn new_panics_with_the_typed_message_on_zero_cores() {
+        let _ = sched(0);
+    }
+
+    #[test]
+    fn idle_steal_on_an_empty_system_is_a_clean_false() {
+        let mut s = sched(4);
+        assert!(!s.idle_steal(0), "nothing to steal anywhere");
+        assert_eq!(s.stats().steal_misses, 0, "empty victims are not misses");
+        assert_eq!(s.stats().balance_moves, 0);
+        // A real steal still works and is counted as a move, not a miss.
+        spawn_wake(&mut s, 8);
+        s.pick_next_all();
+        let extra = spawn_wake(&mut s, 4);
+        let _ = extra;
+        // Queues now hold the 4 extra tasks; drain one core and steal.
+        let moved = (0..4).any(|c| s.queues[c].is_empty() && s.idle_steal(c));
+        assert!(moved || s.stats().balance_moves == 0);
+        assert_eq!(s.stats().steal_misses, 0);
+        s.check_invariants().unwrap();
     }
 
     #[test]

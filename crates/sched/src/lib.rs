@@ -26,6 +26,6 @@ pub mod runqueue;
 pub mod task;
 pub mod waitqueue;
 
-pub use cfs::{CfsScheduler, SchedConfig, SchedStats};
+pub use cfs::{CfsScheduler, SchedConfig, SchedConfigError, SchedStats};
 pub use task::{ProcessId, Task, TaskId, TaskState};
 pub use waitqueue::WaitQueue;

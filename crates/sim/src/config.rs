@@ -51,6 +51,13 @@ pub struct SimConfig {
     /// converts the log into a replayable `.trace` document for
     /// differential checking against the reference model.
     pub record_rda_calls: bool,
+    /// Observability: when set, a [`rda_trace::TraceSink`] with these
+    /// capacities is installed in the RDA extension, the run samples
+    /// LLC occupancy every simulated tick, and
+    /// [`crate::system::RunResult::trace`] carries the frozen
+    /// [`rda_trace::TraceReport`]. Off by default; tracing is
+    /// digest-neutral (it never feeds back into scheduling).
+    pub trace: Option<rda_trace::TraceConfig>,
 }
 
 /// Historical default jitter seed; kept so single-run behaviour (and
@@ -77,6 +84,7 @@ impl SimConfig {
             waitlist_timeout: None,
             faults: None,
             record_rda_calls: false,
+            trace: None,
         }
     }
 
@@ -122,6 +130,18 @@ impl SimConfig {
         self.record_rda_calls = true;
         self
     }
+
+    /// Enable observability tracing with default buffer capacities (see
+    /// [`rda_trace::TraceConfig`]).
+    pub fn with_trace(self) -> Self {
+        self.with_trace_config(rda_trace::TraceConfig::default())
+    }
+
+    /// Enable observability tracing with explicit buffer capacities.
+    pub fn with_trace_config(mut self, trace: rda_trace::TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +160,19 @@ mod tests {
         assert_eq!(c.demand_audit, DemandAudit::Trust);
         assert_eq!(c.waitlist_timeout, None);
         assert_eq!(c.faults, None);
+        assert!(c.trace.is_none(), "tracing is strictly opt-in");
+    }
+
+    #[test]
+    fn trace_builders_set_capacities() {
+        let c = SimConfig::paper_default(PolicyKind::Strict).with_trace();
+        assert_eq!(c.trace, Some(rda_trace::TraceConfig::default()));
+        let custom = rda_trace::TraceConfig {
+            event_capacity: 64,
+            occupancy_capacity: 16,
+        };
+        let c = SimConfig::paper_default(PolicyKind::Strict).with_trace_config(custom);
+        assert_eq!(c.trace, Some(custom));
     }
 
     #[test]

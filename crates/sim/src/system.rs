@@ -36,6 +36,11 @@ pub struct RunResult {
     pub finish_secs: Vec<f64>,
     /// Periodic samples (empty unless `SimConfig::sample_every` set).
     pub timeline: Vec<TimelineSample>,
+    /// Frozen observability trace (`None` unless [`SimConfig::trace`]
+    /// was set). Deliberately **excluded from [`Self::digest`]**: the
+    /// digest certifies scheduling behaviour, and tracing must be able
+    /// to turn on without moving any golden digest.
+    pub trace: Option<rda_trace::TraceReport>,
 }
 
 /// One call the simulator made into the RDA extension, recorded (when
@@ -254,7 +259,10 @@ impl SystemSim {
         if let Some(timeout) = cfg.waitlist_timeout {
             rda_cfg = rda_cfg.with_waitlist_timeout_cycles(timeout.cycles());
         }
-        let rda = RdaExtension::new(rda_cfg);
+        let mut rda = RdaExtension::new(rda_cfg);
+        if let Some(tc) = cfg.trace {
+            rda.install_trace(rda_trace::TraceSink::new(tc));
+        }
         // The fault plan is a pure function of (jitter_seed, workload
         // shape, fault config), so faulty sweeps stay bit-identical
         // across thread counts just like clean ones.
@@ -586,6 +594,25 @@ impl SystemSim {
         }
     }
 
+    /// Record an LLC occupancy sample into the trace sink, one per
+    /// simulated tick (no-op when tracing is off — the reads below are
+    /// never even issued).
+    fn sample_occupancy(&mut self, busy_cores: usize) {
+        if self.rda.trace().is_none() {
+            return;
+        }
+        let sample = rda_trace::OccupancySample {
+            t_cycles: self.now.cycles(),
+            usage: self.rda.usage(rda_core::Resource::Llc),
+            overflow: self.rda.overflow_usage(rda_core::Resource::Llc),
+            waitlisted: self.rda.waitlist_len(rda_core::Resource::Llc) as u32,
+            busy_cores: busy_cores as u32,
+        };
+        if let Some(sink) = self.rda.trace_mut() {
+            sink.record_occupancy(sample);
+        }
+    }
+
     fn take_sample(&mut self) {
         let running: Vec<TaskId> = self.sched.running_tasks().map(|(_, t)| t).collect();
         let mut seen: Vec<usize> = Vec::new();
@@ -633,6 +660,7 @@ impl SystemSim {
                     self.now = deadline;
                 }
                 self.apply_aging();
+                self.sample_occupancy(0);
                 if self.cfg.paranoid {
                     self.rda
                         .check_invariants()
@@ -745,6 +773,7 @@ impl SystemSim {
                 self.next_sample = self.now + self.cfg.sample_every.unwrap();
             }
             self.apply_aging();
+            self.sample_occupancy(running.len());
             if self.cfg.paranoid {
                 self.rda
                     .check_invariants()
@@ -778,6 +807,7 @@ impl SystemSim {
                 .map(|p| p.finish_time.as_secs(freq))
                 .collect(),
             timeline: std::mem::take(&mut self.timeline),
+            trace: self.rda.take_trace().map(|s| s.into_report()),
         })
     }
 }
@@ -1144,6 +1174,63 @@ mod tests {
         assert_eq!(sim.rda().live_periods(), 0);
         assert_eq!(sim.rda().usage(rda_core::Resource::Llc), 0);
         assert_eq!(sim.rda().overflow_usage(rda_core::Resource::Llc), 0);
+    }
+
+    #[test]
+    fn tracing_is_digest_neutral_and_reports_activity() {
+        let spec = tiny_workload(6, 1, 6.0, 10_000_000);
+        let plain = run(rda_core::PolicyKind::Strict, &spec);
+        assert!(plain.trace.is_none(), "tracing is opt-in");
+        let traced = SystemSim::new(
+            SimConfig::paper_default(rda_core::PolicyKind::Strict).with_trace(),
+            &spec,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(
+            plain.digest(),
+            traced.digest(),
+            "enabling tracing must not change scheduling behaviour"
+        );
+        let report = traced.trace.expect("trace enabled");
+        assert_eq!(report.counts.begins, traced.rda.begins);
+        assert_eq!(
+            report.counts.fast_admits + report.counts.slow_admits,
+            traced.rda.admitted
+        );
+        assert_eq!(report.counts.pauses, traced.rda.paused);
+        assert_eq!(report.counts.resumes, traced.rda.resumed);
+        assert_eq!(report.wait.samples, traced.rda.resumed);
+        assert!(report.wait.max > 0, "contended run must show real waits");
+        assert!(!report.occupancy.is_empty(), "per-tick occupancy sampled");
+        let llc = SimConfig::paper_default(rda_core::PolicyKind::Strict)
+            .machine
+            .llc_bytes;
+        for s in &report.occupancy {
+            assert!(s.usage <= llc, "strict keeps nominal usage under the LLC");
+        }
+    }
+
+    #[test]
+    fn faulty_traced_runs_record_rejects_and_exits() {
+        let spec = tiny_workload(8, 2, 5.0, 8_000_000);
+        let mut cfg = faulty_cfg(0.3).with_trace();
+        cfg.faults = Some(FaultConfig {
+            double_end_rate: 1.0,
+            kill_rate: 0.5,
+            ..FaultConfig::none()
+        });
+        let plain_digest = {
+            let mut c = cfg.clone();
+            c.trace = None;
+            SystemSim::new(c, &spec).run().unwrap().digest()
+        };
+        let traced = SystemSim::new(cfg, &spec).run().unwrap();
+        assert_eq!(plain_digest, traced.digest());
+        let report = traced.trace.expect("trace enabled");
+        assert_eq!(report.counts.rejects, traced.rda.rejected_ends);
+        assert!(report.counts.rejects > 0, "double ends must be visible");
+        assert_eq!(report.counts.exits as usize, spec.processes.len());
     }
 
     #[test]

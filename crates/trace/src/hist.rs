@@ -1,0 +1,163 @@
+//! A log₂-bucket histogram for cycle durations.
+//!
+//! Wait times span eight orders of magnitude (a fast resume is tens of
+//! cycles, an aged force-admission millions), so the residency
+//! instrument buckets by bit length: bucket *i* holds values `v` with
+//! `2^(i-1) ≤ v < 2^i` (bucket 0 holds exactly 0). Memory is a fixed
+//! 65-word array — the histogram never drops a sample — and quantiles
+//! are answered as the upper bound of the bucket containing the rank,
+//! clamped to the exact observed maximum.
+
+/// Fixed-size log₂ histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; 65],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Hist {
+            buckets: [0; 65],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (the largest value it can hold).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing that rank, clamped to the observed maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_by_bit_length() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.nonzero_buckets();
+        // 0 | 1 | 2,3 | 4..7 | 8 | 1024 | u64::MAX
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 1),
+                (1, 1),
+                (3, 2),
+                (7, 2),
+                (15, 1),
+                (2047, 1),
+                (u64::MAX, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Log2Hist::new();
+        for _ in 0..90 {
+            h.record(100); // bucket upper 127
+        }
+        for _ in 0..10 {
+            h.record(5_000); // bucket upper 8191, max 5000
+        }
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.95), 5_000, "clamped to exact max");
+        assert_eq!(h.quantile(1.0), 5_000);
+        assert_eq!(h.quantile(0.0), 127, "rank floors at the first sample");
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Log2Hist::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Log2Hist::new();
+        let mut x = 1u64;
+        for i in 0..1_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x >> (x % 50));
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            assert!(v <= h.max());
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A bounded ring buffer that overwrites its oldest entry when full.
+//!
+//! Capacity is reserved once at construction; every subsequent
+//! [`Ring::push`] is allocation-free. Overwritten entries are counted
+//! in [`Ring::dropped`] so a report can say "kept the last N of M".
+
+/// Fixed-capacity ring buffer of `Copy` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element (valid when `buf.len() == capacity`).
+    head: usize,
+    dropped: u64,
+}
+
+impl<T: Copy> Ring<T> {
+    /// A ring holding at most `capacity` entries (allocated up front).
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an entry, overwriting the oldest when full.
+    pub fn push(&mut self, value: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries that were overwritten (or refused by a zero-capacity
+    /// ring) — total recorded = `len() + dropped()`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (older, newer) = self.buf.split_at(self.head.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// The held entries, oldest → newest.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = Ring::new(3);
+        for v in 0..3u32 {
+            r.push(v);
+        }
+        assert_eq!(r.to_vec(), vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.to_vec(), vec![2, 3, 4], "oldest-first order kept");
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn pushes_never_reallocate() {
+        let mut r = Ring::new(8);
+        let cap_before = r.buf.capacity();
+        for v in 0..100u64 {
+            r.push(v);
+        }
+        assert_eq!(r.buf.capacity(), cap_before, "capacity reserved up front");
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.dropped(), 92);
+        assert_eq!(r.to_vec(), (92..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut r = Ring::new(0);
+        r.push(1u8);
+        r.push(2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.capacity(), 0);
+    }
+}

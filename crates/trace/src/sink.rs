@@ -1,0 +1,285 @@
+//! The per-run recorder and its frozen end-of-run report.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::Log2Hist;
+use crate::ring::Ring;
+
+/// Capacity limits for a [`TraceSink`]'s ring buffers.
+///
+/// Both buffers are allocated once at construction; recording is
+/// allocation-free thereafter. When a buffer fills, the oldest entries
+/// are overwritten and counted as dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum scheduling events retained (newest win).
+    pub event_capacity: usize,
+    /// Maximum occupancy samples retained (newest win).
+    pub occupancy_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            event_capacity: 16_384,
+            occupancy_capacity: 8_192,
+        }
+    }
+}
+
+/// One sample of LLC occupancy, taken per simulated tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Logical timestamp in simulated cycles.
+    pub t_cycles: u64,
+    /// Bytes accounted in the nominal LLC load table.
+    pub usage: u64,
+    /// Bytes accounted in the aging overflow bucket.
+    pub overflow: u64,
+    /// Periods parked on the LLC waitlist.
+    pub waitlisted: u32,
+    /// Cores executing a runnable thread this tick.
+    pub busy_cores: u32,
+}
+
+/// Predicate-outcome and lifecycle counters.
+///
+/// Unlike the ring buffers these never drop: they are exact totals for
+/// the whole run even when the event ring wrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredicateCounts {
+    /// `pp_begin` calls observed.
+    pub begins: u64,
+    /// Admissions served by the memoised fast path.
+    pub fast_admits: u64,
+    /// Admissions decided by the full predicate.
+    pub slow_admits: u64,
+    /// Periods waitlisted at begin time (predicate said no).
+    pub pauses: u64,
+    /// Waitlisted periods later admitted nominally.
+    pub resumes: u64,
+    /// Waitlisted periods force-admitted by aging.
+    pub aged: u64,
+    /// `pp_end` completions.
+    pub ends: u64,
+    /// Completions served by the memoised fast path.
+    pub fast_ends: u64,
+    /// Process exits observed.
+    pub exits: u64,
+    /// Typed rejections (audit refusals, unknown/double ends, …).
+    pub rejects: u64,
+}
+
+/// One non-empty wait-histogram bucket in a [`WaitSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitBucket {
+    /// Largest wait (cycles) this bucket can hold.
+    pub upper_cycles: u64,
+    /// Samples that landed in it.
+    pub count: u64,
+}
+
+/// Waitlist-residency percentiles derived from the log₂ histogram.
+///
+/// `p50`/`p95` are the upper bound of the histogram bucket containing
+/// the rank (clamped to `max`); `max` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaitSummary {
+    /// Waits recorded (one per resume or aged admission).
+    pub samples: u64,
+    /// Median wait, in cycles (bucket upper bound).
+    pub p50: u64,
+    /// 95th-percentile wait, in cycles (bucket upper bound).
+    pub p95: u64,
+    /// Exact longest wait, in cycles.
+    pub max: u64,
+}
+
+/// The frozen end-of-run view of a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Retained scheduling events, oldest → newest.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten because the ring was full.
+    pub dropped_events: u64,
+    /// Retained occupancy samples, oldest → newest.
+    pub occupancy: Vec<OccupancySample>,
+    /// Occupancy samples overwritten because the ring was full.
+    pub dropped_occupancy: u64,
+    /// Exact lifecycle totals for the whole run.
+    pub counts: PredicateCounts,
+    /// Waitlist-residency percentiles.
+    pub wait: WaitSummary,
+    /// Non-empty wait-histogram buckets, ascending.
+    pub wait_buckets: Vec<WaitBucket>,
+}
+
+/// Bounded, allocation-free per-run event recorder.
+///
+/// Created from a [`TraceConfig`], fed by the RDA extension (events)
+/// and the system simulator (occupancy samples), and frozen into a
+/// [`TraceReport`] at end of run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSink {
+    events: Ring<TraceEvent>,
+    occupancy: Ring<OccupancySample>,
+    wait_hist: Log2Hist,
+    counts: PredicateCounts,
+}
+
+impl TraceSink {
+    /// A fresh sink with buffers sized by `cfg` (allocated up front).
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceSink {
+            events: Ring::new(cfg.event_capacity),
+            occupancy: Ring::new(cfg.occupancy_capacity),
+            wait_hist: Log2Hist::new(),
+            counts: PredicateCounts::default(),
+        }
+    }
+
+    /// Record one scheduling event (allocation-free).
+    pub fn record(&mut self, ev: TraceEvent) {
+        match ev.kind {
+            EventKind::Begin => self.counts.begins += 1,
+            EventKind::Admit => {
+                if ev.fast {
+                    self.counts.fast_admits += 1;
+                } else {
+                    self.counts.slow_admits += 1;
+                }
+            }
+            EventKind::Pause => self.counts.pauses += 1,
+            EventKind::Resume => {
+                self.counts.resumes += 1;
+                self.wait_hist.record(ev.wait_cycles);
+            }
+            EventKind::Age => {
+                self.counts.aged += 1;
+                self.wait_hist.record(ev.wait_cycles);
+            }
+            EventKind::End => {
+                self.counts.ends += 1;
+                if ev.fast {
+                    self.counts.fast_ends += 1;
+                }
+            }
+            EventKind::Exit => self.counts.exits += 1,
+            EventKind::Reject => self.counts.rejects += 1,
+        }
+        self.events.push(ev);
+    }
+
+    /// Record one occupancy sample (allocation-free).
+    pub fn record_occupancy(&mut self, sample: OccupancySample) {
+        self.occupancy.push(sample);
+    }
+
+    /// Events currently retained, oldest → newest.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.to_vec()
+    }
+
+    /// Exact lifecycle totals so far.
+    pub fn counts(&self) -> &PredicateCounts {
+        &self.counts
+    }
+
+    /// Freeze the current state into a [`TraceReport`].
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            events: self.events.to_vec(),
+            dropped_events: self.events.dropped(),
+            occupancy: self.occupancy.to_vec(),
+            dropped_occupancy: self.occupancy.dropped(),
+            counts: self.counts,
+            wait: WaitSummary {
+                samples: self.wait_hist.count(),
+                p50: self.wait_hist.quantile(0.50),
+                p95: self.wait_hist.quantile(0.95),
+                max: self.wait_hist.max(),
+            },
+            wait_buckets: self
+                .wait_hist
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(upper_cycles, count)| WaitBucket {
+                    upper_cycles,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Consume the sink, freezing it into a [`TraceReport`].
+    pub fn into_report(self) -> TraceReport {
+        self.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent};
+
+    fn ev(t: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent::at(t, kind)
+    }
+
+    #[test]
+    fn counts_track_every_kind_even_after_wrap() {
+        let mut sink = TraceSink::new(TraceConfig {
+            event_capacity: 4,
+            occupancy_capacity: 2,
+        });
+        sink.record(ev(1, EventKind::Begin));
+        let mut fast = ev(2, EventKind::Admit);
+        fast.fast = true;
+        sink.record(fast);
+        sink.record(ev(3, EventKind::Pause));
+        let mut resume = ev(9, EventKind::Resume);
+        resume.wait_cycles = 6;
+        sink.record(resume);
+        let mut aged = ev(40, EventKind::Age);
+        aged.wait_cycles = 37;
+        sink.record(aged);
+        sink.record(ev(50, EventKind::End));
+        sink.record(ev(60, EventKind::Exit));
+        sink.record(ev(61, EventKind::Reject));
+
+        let report = sink.into_report();
+        assert_eq!(report.events.len(), 4, "ring keeps the newest four");
+        assert_eq!(report.dropped_events, 4);
+        let c = report.counts;
+        assert_eq!(
+            (c.begins, c.fast_admits, c.slow_admits, c.pauses),
+            (1, 1, 0, 1)
+        );
+        assert_eq!((c.resumes, c.aged, c.ends, c.exits, c.rejects), (1, 1, 1, 1, 1));
+        assert_eq!(report.wait.samples, 2, "histogram never drops");
+        assert_eq!(report.wait.max, 37);
+        assert!(report.wait.p50 >= 6);
+        assert_eq!(report.wait_buckets.iter().map(|b| b.count).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn occupancy_ring_is_bounded() {
+        let mut sink = TraceSink::new(TraceConfig {
+            event_capacity: 1,
+            occupancy_capacity: 2,
+        });
+        for t in 0..5u64 {
+            sink.record_occupancy(OccupancySample {
+                t_cycles: t,
+                usage: t * 10,
+                overflow: 0,
+                waitlisted: 0,
+                busy_cores: 1,
+            });
+        }
+        let report = sink.report();
+        assert_eq!(report.occupancy.len(), 2);
+        assert_eq!(report.dropped_occupancy, 3);
+        assert_eq!(report.occupancy[0].t_cycles, 3);
+        assert_eq!(report.occupancy[1].t_cycles, 4);
+    }
+}

@@ -1,0 +1,292 @@
+//! Integration: the observability layer (`rda-trace`).
+//!
+//! Four claims are nailed down here:
+//!
+//! 1. Tracing is digest-neutral — for single runs (including faulty
+//!    ones, property-tested over seeds/rates/policies) and for whole
+//!    sweeps, serial and 8-threaded alike.
+//! 2. A run recorded with both the RDA call log and the trace sink
+//!    replays through `rda-check`'s `doc_from_calls` bridge with zero
+//!    divergence, and the trace's own counters agree with the live
+//!    extension's statistics.
+//! 3. The Chrome trace-event export of a faulty sweep parses as valid
+//!    JSON and carries every structural field a trace viewer needs.
+//! 4. The export's *schema* — the set of event shapes it can emit — is
+//!    pinned by a checked-in snapshot (`tests/corpus/trace_schema.json`);
+//!    growing or reshaping the format is an explicit, reviewed diff.
+//!    Regenerate with `UPDATE_TRACE_SCHEMA=1 cargo test -p rda-integration
+//!    --test observability`.
+
+use proptest::prelude::*;
+use rda_bench::TraceBundle;
+use rda_core::{mb, DemandAudit, PolicyKind, SiteId};
+use rda_machine::ReuseLevel;
+use rda_metrics::Json;
+use rda_sim::experiment::paper_policies;
+use rda_sim::runner::{run_sweep_configured, RunnerOptions, SweepGrid};
+use rda_sim::{FaultConfig, SimConfig, SystemSim};
+use rda_workloads::spec::all_workloads;
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+use std::collections::BTreeSet;
+
+/// A small contended workload: enough processes to force waitlisting
+/// and aging, cheap enough for property testing.
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "obs".into(),
+        processes: (0..6)
+            .map(|i| ProcessProgram {
+                threads: 1 + (i % 2),
+                phases: vec![Phase::tracked(
+                    "k",
+                    4_000_000 + i as u64 * 500_000,
+                    mb(4.0 + i as f64),
+                    ReuseLevel::High,
+                    SiteId(i as u32),
+                )],
+            })
+            .collect(),
+    }
+}
+
+fn faulty_cfg(policy: PolicyKind, rate: f64, seed: u64) -> SimConfig {
+    SimConfig::paper_default(policy)
+        .with_demand_audit(DemandAudit::Clamp)
+        .with_waitlist_timeout_ms(2.0)
+        .with_faults(FaultConfig::uniform(rate))
+        .with_jitter_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary seeds, fault rates, and policies: (a) enabling
+    /// tracing never changes `RunResult::digest()`, and (b) the same
+    /// traced run, recorded call by call, replays through the reference
+    /// model with zero divergence — so the trace describes exactly the
+    /// run that happened.
+    #[test]
+    fn traced_faulty_runs_are_digest_neutral_and_replay_clean(
+        seed in 0u64..1_000,
+        rate in 0.0f64..0.4,
+        policy_idx in 0usize..2,
+    ) {
+        let policy = [PolicyKind::Strict, PolicyKind::compromise_default()][policy_idx];
+        let spec = small_spec();
+        let plain = SystemSim::new(faulty_cfg(policy, rate, seed), &spec)
+            .run()
+            .unwrap();
+        let mut sim = SystemSim::new(
+            faulty_cfg(policy, rate, seed).with_rda_trace().with_trace(),
+            &spec,
+        );
+        let traced = sim.run().unwrap();
+        prop_assert_eq!(plain.digest(), traced.digest(), "tracing moved the digest");
+
+        // Replay the recorded call log through the pure reference model.
+        let doc = rda_check::doc_from_calls(sim.rda().config().clone(), sim.rda_calls());
+        let report = rda_check::replay(&doc).unwrap();
+        prop_assert_eq!(
+            &report.final_snapshot,
+            &sim.rda().snapshot(),
+            "replayed state diverged from the live extension"
+        );
+
+        // The trace's derived counters agree with the extension's stats.
+        let trace = traced.trace.expect("tracing was enabled");
+        prop_assert_eq!(trace.counts.begins, traced.rda.begins);
+        // `RdaStats::ends` counts every `pp_end` call; the trace's End
+        // event only marks successful completions (a rejected end
+        // records a Reject event instead).
+        prop_assert_eq!(
+            trace.counts.ends,
+            traced.rda.ends - traced.rda.rejected_ends
+        );
+        prop_assert_eq!(trace.counts.aged, traced.rda.aged_admissions);
+        prop_assert_eq!(trace.counts.resumes, traced.rda.resumed);
+        // Every process exits exactly once (clean or killed).
+        prop_assert_eq!(trace.counts.exits, spec.processes.len() as u64);
+    }
+}
+
+/// Sweep-level digest neutrality: the same grid run untraced, traced
+/// serially, and traced on 8 threads produces one digest.
+#[test]
+fn traced_sweeps_are_digest_neutral_and_thread_invariant() {
+    let specs = all_workloads();
+    let grid = SweepGrid::cross(&specs[..1], &paper_policies(), 1);
+    let opts = |threads| RunnerOptions {
+        threads,
+        root_seed: 42,
+        ..RunnerOptions::default()
+    };
+    let untraced = run_sweep_configured(&grid, &opts(1), |cell| {
+        SimConfig::paper_default(cell.policy)
+    });
+    let traced_serial = run_sweep_configured(&grid, &opts(1), |cell| {
+        SimConfig::paper_default(cell.policy).with_trace()
+    });
+    let traced_parallel = run_sweep_configured(&grid, &opts(8), |cell| {
+        SimConfig::paper_default(cell.policy).with_trace()
+    });
+    assert!(untraced.errors.is_empty());
+    assert_eq!(
+        untraced.digest(),
+        traced_serial.digest(),
+        "tracing changed the sweep digest"
+    );
+    assert_eq!(
+        traced_serial.digest(),
+        traced_parallel.digest(),
+        "traced sweep digest depends on thread count"
+    );
+    // And the traces themselves are a pure function of the cell, not of
+    // the thread count.
+    for (s, p) in traced_serial.records.iter().zip(&traced_parallel.records) {
+        assert_eq!(s.result.trace, p.result.trace, "cell #{} trace diverged", s.index);
+    }
+}
+
+/// Export a deterministic faulty sweep the way `exp_faults --trace-out`
+/// does and collect the shared bundle + parsed document.
+fn faulty_export() -> (TraceBundle, Json) {
+    let specs = all_workloads();
+    let grid = SweepGrid::cross(
+        &specs[..1],
+        &[PolicyKind::Strict, PolicyKind::compromise_default()],
+        1,
+    );
+    let opts = RunnerOptions {
+        threads: 1,
+        root_seed: 42,
+        ..RunnerOptions::default()
+    };
+    let sweep = run_sweep_configured(&grid, &opts, |cell| {
+        SimConfig::paper_default(cell.policy)
+            .with_demand_audit(DemandAudit::Clamp)
+            .with_waitlist_timeout_ms(5.0)
+            .with_faults(FaultConfig::uniform(0.25))
+            .with_trace()
+    });
+    assert!(sweep.errors.is_empty(), "{:?}", sweep.errors);
+    let mut bundle = TraceBundle::new();
+    bundle.add_records("rate0.25:", &sweep.records);
+    assert_eq!(bundle.len(), grid.len(), "every cell must carry a trace");
+    let text = bundle.to_chrome_json().to_string_pretty();
+    let parsed = Json::parse(&text).expect("export must be valid JSON");
+    (bundle, parsed)
+}
+
+/// The faulty export loads as Chrome trace-event format: the required
+/// top-level and per-event fields are all present and every event kind
+/// the run produced is represented.
+#[test]
+fn faulty_sweep_export_loads_as_chrome_trace_format() {
+    let (_, doc) = faulty_export();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(events.len() > 100, "faulty sweep must produce a rich trace");
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing '{key}': {ev}");
+        }
+    }
+    let phases: BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(Json::as_str))
+        .collect();
+    for ph in ["M", "b", "e", "i", "C"] {
+        assert!(phases.contains(ph), "no '{ph}' events in the export");
+    }
+    // Faults at rate 0.25 with Clamp + aging must surface rejects.
+    assert!(
+        events.iter().any(|e| e
+            .get("name")
+            .and_then(Json::as_str)
+            .is_some_and(|n| n.starts_with("reject:"))),
+        "faulty run produced no reject instants"
+    );
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let meta = doc.get("metadata").expect("metadata");
+    assert_eq!(meta.get("tool").and_then(Json::as_str), Some("rda-trace"));
+    assert!(meta.get("freq_hz").and_then(Json::as_f64).unwrap() > 0.0);
+}
+
+/// Reduce a trace document to its schema: the sorted, deduplicated set
+/// of event shapes (`ph`/`cat` plus the sorted key lists of the event
+/// object and its `args`), and the document's top-level/metadata keys.
+fn schema_of(doc: &Json) -> Json {
+    let keys_of = |j: &Json| -> Json {
+        match j {
+            Json::Obj(map) => Json::Arr(
+                map.keys()
+                    .map(|k| Json::Str(k.clone()))
+                    .collect(),
+            ),
+            _ => Json::Arr(vec![]),
+        }
+    };
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let mut shapes: BTreeSet<String> = BTreeSet::new();
+    for ev in events {
+        let shape = Json::obj([
+            (
+                "ph",
+                Json::Str(ev.get("ph").and_then(Json::as_str).unwrap().to_string()),
+            ),
+            (
+                "cat",
+                Json::Str(ev.get("cat").and_then(Json::as_str).unwrap().to_string()),
+            ),
+            ("keys", keys_of(ev)),
+            ("args", keys_of(ev.get("args").unwrap_or(&Json::Null))),
+        ]);
+        shapes.insert(shape.to_string_compact());
+    }
+    Json::obj([
+        ("document_keys", keys_of(doc)),
+        (
+            "metadata_keys",
+            keys_of(doc.get("metadata").unwrap_or(&Json::Null)),
+        ),
+        (
+            "event_shapes",
+            Json::Arr(
+                shapes
+                    .into_iter()
+                    .map(|s| Json::parse(&s).unwrap())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Golden snapshot of the export schema. A failure means the trace
+/// format changed; review the diff and regenerate the corpus file with
+/// `UPDATE_TRACE_SCHEMA=1`.
+#[test]
+fn export_schema_matches_the_golden_snapshot() {
+    let (_, doc) = faulty_export();
+    let schema = schema_of(&doc).to_string_pretty();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/corpus/trace_schema.json"
+    );
+    if std::env::var_os("UPDATE_TRACE_SCHEMA").is_some() {
+        std::fs::write(path, &schema).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("tests/corpus/trace_schema.json missing — regenerate with UPDATE_TRACE_SCHEMA=1");
+    assert_eq!(
+        schema, golden,
+        "trace export schema drifted from the golden snapshot; if the \
+         change is intentional, rerun with UPDATE_TRACE_SCHEMA=1 and \
+         review the corpus diff"
+    );
+}
