@@ -1,0 +1,35 @@
+//! Bench: the scheduler's hot paths — admission throughput, waitlist
+//! churn under pressure, full sweep-cell throughput, and the overhead
+//! of the observability trace layer. The kernels live in
+//! `rda_bench::hotbench` and are shared with the `bench_report` binary
+//! that writes the committed `BENCH_pr5.json` baseline.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rda_bench::hotbench::{admission_ops, churn_ops, sweep_cell};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(20);
+    // pp_begin/pp_end pairs on the fits-and-runs fast path.
+    g.bench_function("admission_10k_pairs", |b| {
+        b.iter(|| black_box(admission_ops(10_000)))
+    });
+    // Saturated-LLC churn: push, drain, aging, exit cancellation.
+    g.bench_function("waitlist_churn_2k_rounds", |b| {
+        b.iter(|| black_box(churn_ops(2_000)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sweep_cell");
+    g.sample_size(10);
+    // One full Ocean_cp × Strict simulation, trace layer off vs on.
+    g.bench_function("ocean_cp_strict/trace_off", |b| {
+        b.iter(|| black_box(sweep_cell(false)))
+    });
+    g.bench_function("ocean_cp_strict/trace_on", |b| {
+        b.iter(|| black_box(sweep_cell(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

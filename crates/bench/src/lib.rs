@@ -23,6 +23,7 @@
 pub mod cli;
 pub mod fig12;
 pub mod headline;
+pub mod hotbench;
 pub mod summary;
 pub mod traceout;
 

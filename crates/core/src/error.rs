@@ -77,6 +77,13 @@ pub enum RdaError {
         /// The resource's nominal capacity.
         capacity: u64,
     },
+    /// The registry and another internal structure disagreed about a
+    /// period's existence (e.g. a record vanished between a liveness
+    /// check and its removal) — a scheduler bug, not an application
+    /// bug. Returned instead of panicking so the caller can fail the
+    /// one operation and keep the extension alive; the extension's
+    /// observable accounting is left untouched.
+    RegistryDesync(PpId),
     /// An internal consistency check failed — a scheduler bug, not an
     /// application bug.
     InvariantViolation {
@@ -102,6 +109,9 @@ impl fmt::Display for RdaError {
                 write!(f, "{pp} ended while waitlisted — its process should be paused")
             }
             RdaError::DoubleWaitlist(pp) => write!(f, "{pp} double-waitlisted"),
+            RdaError::RegistryDesync(pp) => {
+                write!(f, "{pp} registry record desynchronized — scheduler bug")
+            }
             RdaError::DemandOverflow {
                 resource,
                 declared,
@@ -139,6 +149,10 @@ mod tests {
         assert_eq!(
             RdaError::DoubleWaitlist(PpId(1)).to_string(),
             "pp#1 double-waitlisted"
+        );
+        assert_eq!(
+            RdaError::RegistryDesync(PpId(9)).to_string(),
+            "pp#9 registry record desynchronized — scheduler bug"
         );
         let e = RdaError::DemandOverflow {
             resource: Resource::Llc,

@@ -89,6 +89,11 @@ pub struct RdaStats {
     /// `pp_end` calls rejected with a typed error (unknown id, double
     /// end, or end of a waitlisted period).
     pub rejected_ends: u64,
+    /// Operations failed with [`RdaError::RegistryDesync`] or a
+    /// rolled-back waitlist push — nonzero only if the extension itself
+    /// has a bug. Excluded from the snapshot digest so existing golden
+    /// digests stay valid.
+    pub desyncs: u64,
 }
 
 /// Outcome of a `pp_begin` call.
@@ -441,16 +446,23 @@ impl RdaExtension {
                 let pp = self
                     .registry
                     .register(process, site, demand, accounted, false, now);
-                self.waitlist
-                    .push(
-                        resource,
-                        WaitEntry {
-                            pp,
-                            accounted,
-                            enqueued_at: now,
-                        },
-                    )
-                    .expect("freshly allocated id cannot already be waitlisted");
+                if let Err(e) = self.waitlist.push(
+                    resource,
+                    WaitEntry {
+                        pp,
+                        accounted,
+                        enqueued_at: now,
+                    },
+                ) {
+                    // A freshly allocated id cannot already be
+                    // waitlisted; if it is, the waitlist and registry
+                    // have desynchronized. Roll the registration back
+                    // so the books stay balanced, and surface the
+                    // typed error instead of panicking.
+                    self.registry.complete(pp);
+                    self.stats.desyncs += 1;
+                    return Err(e);
+                }
                 self.stats.paused += 1;
                 self.stats.max_waitlist = self
                     .stats
@@ -503,9 +515,14 @@ impl RdaExtension {
             self.emit(ev);
             return Err(RdaError::EndWhileWaitlisted(pp));
         }
-        // Unreachable `expect`: `get` returned the record above and
-        // only this method removes it between the two calls.
-        let record = self.registry.complete(pp).expect("record checked live");
+        // `get` returned the record above and only this method removes
+        // it between the two calls, so `complete` cannot fail — but if
+        // the registry has desynchronized anyway, fail this one call
+        // with a typed error rather than take the scheduler down.
+        let Some(record) = self.registry.complete(pp) else {
+            self.stats.desyncs += 1;
+            return Err(RdaError::RegistryDesync(pp));
+        };
         let resource = record.demand.resource;
         self.release(&record);
         ev.process = record.process.0;
@@ -580,10 +597,21 @@ impl RdaExtension {
             .collect();
         let had_any = !live.is_empty();
         let reclaimed = live.len() as u64;
+        // Which resources this exit actually touched: released admitted
+        // capacity, or removed a waitlist entry (which can expose a
+        // fitting head behind the cancelled one). Only those queues can
+        // admit anyone, so only those need re-walking below.
+        let mut touched = [false; Resource::ALL.len()];
         for pp in live {
-            // Unreachable `expect`: ids were collected from the
-            // registry in this same critical section.
-            let rec = self.registry.complete(pp).expect("id collected above");
+            // Ids were collected from the registry in this same
+            // critical section, so `complete` cannot fail; tolerate a
+            // desynchronized registry by skipping the id instead of
+            // panicking mid-reap.
+            let Some(rec) = self.registry.complete(pp) else {
+                self.stats.desyncs += 1;
+                continue;
+            };
+            touched[Self::resource_index(rec.demand.resource)] = true;
             if rec.admitted {
                 self.release(&rec);
             } else {
@@ -601,7 +629,9 @@ impl RdaExtension {
         }
         let mut resumed = Vec::new();
         for r in Resource::ALL {
-            resumed.extend(self.drain_waitlist(r, now));
+            if touched[Self::resource_index(r)] || self.has_expired_waiter(r, now) {
+                resumed.extend(self.drain_waitlist(r, now));
+            }
         }
         resumed
     }
@@ -619,9 +649,37 @@ impl RdaExtension {
         }
         let mut resumed = Vec::new();
         for r in Resource::ALL {
-            resumed.extend(self.drain_waitlist(r, now));
+            // No capacity was released since the last drain, so a
+            // still-unexpired queue cannot admit anyone: skip it. The
+            // expiry probe is O(1) via the waitlist's cached minimum
+            // enqueue time.
+            if self.has_expired_waiter(r, now) {
+                resumed.extend(self.drain_waitlist(r, now));
+            }
         }
         resumed
+    }
+
+    /// True when resource `r` has at least one waiter past the aging
+    /// timeout at `now`. O(1): compares the queue's cached minimum
+    /// enqueue time. Always false when aging is disabled.
+    fn has_expired_waiter(&self, r: Resource, now: SimTime) -> bool {
+        let Some(timeout) = self.cfg.waitlist_timeout_cycles else {
+            return false;
+        };
+        match self.waitlist.oldest(r) {
+            Some(oldest) => now.since(oldest).cycles() >= timeout,
+            None => false,
+        }
+    }
+
+    /// Stable index of a resource into per-resource scratch arrays
+    /// (matches the order of [`Resource::ALL`]).
+    fn resource_index(r: Resource) -> usize {
+        match r {
+            Resource::Llc => 0,
+            Resource::MemBandwidth => 1,
+        }
     }
 
     /// Walk the FIFO admitting while the head fits (Figure 6: "attempt
@@ -1431,5 +1489,70 @@ mod tests {
         assert_eq!(s.max_waitlist, 1);
         assert_eq!(s.rejected_ends, 0);
         assert_eq!(s.reclaimed, 0);
+    }
+
+    /// White-box regression for the `pp_begin` desync path: a waitlist
+    /// that already (impossibly) holds the id about to be allocated
+    /// must produce a typed error and a rolled-back registration, not a
+    /// panic.
+    #[test]
+    fn poisoned_waitlist_push_rolls_back_the_registration() {
+        let mut e = ext(PolicyKind::Strict);
+        // Fill the LLC so the next begin pauses (and therefore pushes).
+        for p in 0..3 {
+            must_run(&mut e, p, 0, demand(5.0), t(p as u64));
+        }
+        // Predict the id the next begin will allocate and pre-poison
+        // the queue with it, simulating a desynchronized waitlist.
+        let next = PpId(e.snapshot().allocated);
+        e.waitlist
+            .push(
+                Resource::Llc,
+                WaitEntry {
+                    pp: next,
+                    accounted: 1,
+                    enqueued_at: t(0),
+                },
+            )
+            .unwrap();
+        let before = e.monitor.usage(Resource::Llc);
+        let err = e
+            .pp_begin(ProcessId(9), SiteId(7), demand(5.0), t(10))
+            .unwrap_err();
+        assert_eq!(err, RdaError::DoubleWaitlist(next));
+        assert_eq!(e.stats().desyncs, 1);
+        // The registration was rolled back: the id was burned but is
+        // not live, accounting is untouched, and the poisoned entry was
+        // not duplicated.
+        assert!(e.registry.was_allocated(next));
+        assert!(e.registry.get(next).is_none());
+        assert_eq!(e.monitor.usage(Resource::Llc), before);
+        assert_eq!(
+            e.waitlist.iter(Resource::Llc).filter(|w| w.pp == next).count(),
+            1
+        );
+        // The extension stays serviceable: an honest begin still works
+        // (and pauses, since the cache is still full).
+        assert!(matches!(
+            begin(&mut e, 10, 8, demand(5.0), t(11)),
+            BeginOutcome::Pause { .. }
+        ));
+    }
+
+    /// The typed-error sweep leaves `desyncs` at zero for every healthy
+    /// protocol violation — the counter only moves on internal bugs.
+    #[test]
+    fn protocol_violations_do_not_count_as_desyncs() {
+        let mut e = ext(PolicyKind::Strict);
+        let pp = must_run(&mut e, 0, 0, demand(5.0), t(0));
+        e.pp_end(pp, t(1)).unwrap();
+        assert_eq!(e.pp_end(pp, t(2)), Err(RdaError::DoubleEnd(pp)));
+        assert_eq!(
+            e.pp_end(PpId(999), t(3)),
+            Err(RdaError::UnknownPp(PpId(999)))
+        );
+        e.process_exit(ProcessId(0), t(4));
+        assert_eq!(e.stats().desyncs, 0);
+        e.check_invariants().unwrap();
     }
 }

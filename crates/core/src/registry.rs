@@ -5,11 +5,26 @@
 //! period can be removed from our environment after the period
 //! completes."* The registry maps live [`PpId`]s to their demand,
 //! owning process, and static site, and allocates fresh ids.
+//!
+//! # Representation
+//!
+//! [`PpRegistry`] is a slab arena: records live in a dense `Vec` of
+//! slots recycled through a free list, an id→slot index gives O(1)
+//! lookup without hashing or tree walks (ids are sequential `u64`s),
+//! and a separate sorted list of live ids preserves the deterministic
+//! **id-order iteration** that waitlist re-admission, process
+//! cancellation, and the snapshot/digest machinery all rely on. Because
+//! ids are allocated monotonically, keeping that list sorted is a plain
+//! `push`; only completion pays a binary-search removal.
+//!
+//! [`reference::BTreeRegistry`] preserves the previous
+//! `BTreeMap`-backed implementation verbatim as a differential-testing
+//! oracle: `tests/tests/differential.rs` drives both through arbitrary
+//! schedules and demands identical observable state at every step.
 
 use crate::api::{PpDemand, PpId, SiteId};
 use rda_sched::ProcessId;
 use rda_simcore::SimTime;
-use std::collections::BTreeMap;
 
 /// A live progress period.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,14 +50,24 @@ pub struct PpRecord {
     pub overflow: bool,
 }
 
+/// Sentinel in the id→slot index for ids whose period has completed.
+const GONE: u32 = u32::MAX;
+
 /// Allocator + table of active progress periods.
 #[derive(Debug, Clone, Default)]
 pub struct PpRegistry {
     next_id: u64,
-    // BTreeMap, not HashMap: `iter()` feeds waitlist re-admission and
-    // process cancellation, whose order must be deterministic for the
-    // parallel sweep runner's bit-identical-digest guarantee.
-    active: BTreeMap<PpId, PpRecord>,
+    /// Slot arena; a slot's contents are meaningful only while its
+    /// index is referenced from `slot_of`.
+    slots: Vec<PpRecord>,
+    /// Recycled slot indices (LIFO).
+    free: Vec<u32>,
+    /// `slot_of[id]` = arena slot of a live id, or [`GONE`] once the
+    /// period completed. Indexed by the sequential id value itself.
+    slot_of: Vec<u32>,
+    /// Live ids in ascending (creation) order. Monotone id allocation
+    /// makes insertion a `push`; completion removes by binary search.
+    live_ids: Vec<PpId>,
 }
 
 impl PpRegistry {
@@ -64,19 +89,29 @@ impl PpRegistry {
     ) -> PpId {
         let id = PpId(self.next_id);
         self.next_id += 1;
-        self.active.insert(
+        let record = PpRecord {
             id,
-            PpRecord {
-                id,
-                process,
-                site,
-                demand,
-                begun_at: now,
-                accounted,
-                admitted,
-                overflow: false,
-            },
-        );
+            process,
+            site,
+            demand,
+            begun_at: now,
+            accounted,
+            admitted,
+            overflow: false,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = record;
+                s
+            }
+            None => {
+                self.slots.push(record);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        debug_assert_eq!(self.slot_of.len() as u64, id.0);
+        self.slot_of.push(slot);
+        self.live_ids.push(id);
         id
     }
 
@@ -92,49 +127,63 @@ impl PpRegistry {
         self.next_id
     }
 
+    fn slot(&self, id: PpId) -> Option<usize> {
+        match self.slot_of.get(id.0 as usize) {
+            Some(&s) if s != GONE => Some(s as usize),
+            _ => None,
+        }
+    }
+
     /// Look up a live period.
     pub fn get(&self, id: PpId) -> Option<&PpRecord> {
-        self.active.get(&id)
+        self.slot(id).map(|s| &self.slots[s])
     }
 
     /// Mutable access to a live period (admission flips, clamping).
     pub fn get_mut(&mut self, id: PpId) -> Option<&mut PpRecord> {
-        self.active.get_mut(&id)
+        self.slot(id).map(|s| &mut self.slots[s])
     }
 
     /// Remove a completed period, returning its record.
     pub fn complete(&mut self, id: PpId) -> Option<PpRecord> {
-        self.active.remove(&id)
+        let slot = self.slot(id)?;
+        self.slot_of[id.0 as usize] = GONE;
+        self.free.push(slot as u32);
+        let pos = self
+            .live_ids
+            .binary_search(&id)
+            .expect("live slot implies a live-id entry");
+        self.live_ids.remove(pos);
+        Some(self.slots[slot])
     }
 
     /// Number of live periods (admitted + waitlisted).
     pub fn len(&self) -> usize {
-        self.active.len()
+        self.live_ids.len()
     }
 
     /// True when no periods are live.
     pub fn is_empty(&self) -> bool {
-        self.active.is_empty()
+        self.live_ids.is_empty()
     }
 
     /// Iterate over live periods in id (creation) order.
     pub fn iter(&self) -> impl Iterator<Item = &PpRecord> {
-        self.active.values()
+        self.live_ids
+            .iter()
+            .map(move |id| &self.slots[self.slot_of[id.0 as usize] as usize])
     }
 
     /// The live *admitted* periods of one process.
     pub fn admitted_of_process(&self, p: ProcessId) -> impl Iterator<Item = &PpRecord> {
-        self.active
-            .values()
-            .filter(move |r| r.process == p && r.admitted)
+        self.iter().filter(move |r| r.process == p && r.admitted)
     }
 
     /// Sum of accounted demand across nominally admitted periods — must
     /// equal the resource monitor's usage (checked by the extension's
     /// invariant test).
     pub fn total_accounted(&self, resource: crate::api::Resource) -> u64 {
-        self.active
-            .values()
+        self.iter()
             .filter(|r| r.admitted && !r.overflow && r.demand.resource == resource)
             .map(|r| r.accounted)
             .sum()
@@ -143,8 +192,7 @@ impl PpRegistry {
     /// Sum of accounted demand across aged (overflow-admitted) periods —
     /// must equal the resource monitor's overflow bucket.
     pub fn total_overflow(&self, resource: crate::api::Resource) -> u64 {
-        self.active
-            .values()
+        self.iter()
             .filter(|r| r.admitted && r.overflow && r.demand.resource == resource)
             .map(|r| r.accounted)
             .sum()
@@ -153,10 +201,101 @@ impl PpRegistry {
     /// Number of live periods waiting (not admitted) on a resource —
     /// must equal that resource's waitlist length.
     pub fn waiting_on(&self, resource: crate::api::Resource) -> usize {
-        self.active
-            .values()
+        self.iter()
             .filter(|r| !r.admitted && r.demand.resource == resource)
             .count()
+    }
+}
+
+/// The previous `BTreeMap`-backed registry, kept verbatim as the
+/// reference model for differential testing of the slab arena. Not used
+/// on any production path.
+pub mod reference {
+    use super::{PpDemand, PpId, PpRecord, ProcessId, SimTime, SiteId};
+    use std::collections::BTreeMap;
+
+    /// Allocator + table of active progress periods, backed by a
+    /// `BTreeMap` whose key order *is* id order.
+    #[derive(Debug, Clone, Default)]
+    pub struct BTreeRegistry {
+        next_id: u64,
+        active: BTreeMap<PpId, PpRecord>,
+    }
+
+    impl BTreeRegistry {
+        /// Empty registry.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Register a new period and return its unique id.
+        #[allow(clippy::too_many_arguments)]
+        pub fn register(
+            &mut self,
+            process: ProcessId,
+            site: SiteId,
+            demand: PpDemand,
+            accounted: u64,
+            admitted: bool,
+            now: SimTime,
+        ) -> PpId {
+            let id = PpId(self.next_id);
+            self.next_id += 1;
+            self.active.insert(
+                id,
+                PpRecord {
+                    id,
+                    process,
+                    site,
+                    demand,
+                    begun_at: now,
+                    accounted,
+                    admitted,
+                    overflow: false,
+                },
+            );
+            id
+        }
+
+        /// Whether `id` was ever allocated.
+        pub fn was_allocated(&self, id: PpId) -> bool {
+            id.0 < self.next_id
+        }
+
+        /// Number of ids ever allocated.
+        pub fn allocated(&self) -> u64 {
+            self.next_id
+        }
+
+        /// Look up a live period.
+        pub fn get(&self, id: PpId) -> Option<&PpRecord> {
+            self.active.get(&id)
+        }
+
+        /// Mutable access to a live period.
+        pub fn get_mut(&mut self, id: PpId) -> Option<&mut PpRecord> {
+            self.active.get_mut(&id)
+        }
+
+        /// Remove a completed period, returning its record.
+        pub fn complete(&mut self, id: PpId) -> Option<PpRecord> {
+            self.active.remove(&id)
+        }
+
+        /// Number of live periods.
+        pub fn len(&self) -> usize {
+            self.active.len()
+        }
+
+        /// True when no periods are live.
+        pub fn is_empty(&self) -> bool {
+            self.active.is_empty()
+        }
+
+        /// Iterate over live periods in id (creation) order.
+        pub fn iter(&self) -> impl Iterator<Item = &PpRecord> {
+            self.active.values()
+        }
     }
 }
 
@@ -231,5 +370,29 @@ mod tests {
         // Completed ids stay "allocated" — a second end is a DoubleEnd,
         // not an UnknownPp.
         assert!(r.was_allocated(id));
+    }
+
+    #[test]
+    fn slots_are_recycled_but_iteration_stays_in_id_order() {
+        let mut r = PpRegistry::new();
+        let ids: Vec<PpId> = (0..6)
+            .map(|p| r.register(ProcessId(p), SiteId(0), demand(), 10, true, SimTime::ZERO))
+            .collect();
+        // Complete out of creation order, punching holes in the arena.
+        r.complete(ids[3]).unwrap();
+        r.complete(ids[0]).unwrap();
+        r.complete(ids[4]).unwrap();
+        // New registrations reuse freed slots…
+        let g = r.register(ProcessId(9), SiteId(1), demand(), 10, false, SimTime::ZERO);
+        let h = r.register(ProcessId(8), SiteId(2), demand(), 10, true, SimTime::ZERO);
+        assert!(g > ids[5] && h > g, "ids stay monotone across recycling");
+        // …yet iteration remains strictly ascending by id.
+        let order: Vec<u64> = r.iter().map(|rec| rec.id.0).collect();
+        assert_eq!(order, vec![1, 2, 5, g.0, h.0]);
+        assert_eq!(r.len(), 5);
+        // Lookups route through the recycled slots correctly.
+        assert_eq!(r.get(g).unwrap().process, ProcessId(9));
+        assert_eq!(r.get(h).unwrap().site, SiteId(2));
+        assert!(r.get(ids[3]).is_none());
     }
 }

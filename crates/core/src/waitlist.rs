@@ -18,6 +18,17 @@
 //!   than a configurable timeout are force-admitted by the extension
 //!   under a degraded overflow accounting bucket, making starvation
 //!   impossible by construction.
+//!
+//! # Representation
+//!
+//! Each per-resource queue stores its first [`INLINE_CAP`] entries in a
+//! fixed inline array (`SmallVec`-style) and spills to a `VecDeque`
+//! only beyond that, so short queues — the overwhelmingly common case —
+//! never touch the heap. Each queue also caches the minimum enqueue
+//! time of its entries, making [`Waitlist::oldest`] (polled by the
+//! simulator's aging-deadline computation every interval) O(1); the
+//! cache is refreshed by an O(n) rescan only when the entry holding the
+//! minimum is removed.
 
 use crate::api::{PpId, Resource};
 use crate::error::RdaError;
@@ -35,11 +46,150 @@ pub struct WaitEntry {
     pub enqueued_at: SimTime,
 }
 
+/// Entries held inline per resource before spilling to the heap.
+const INLINE_CAP: usize = 16;
+
+const DUMMY: WaitEntry = WaitEntry {
+    pp: PpId(0),
+    accounted: 0,
+    enqueued_at: SimTime::ZERO,
+};
+
+/// FIFO storage: a fixed inline buffer that promotes itself to a
+/// `VecDeque` the first time it overflows (and never demotes — a queue
+/// that spilled once is likely to spill again).
+// The size imbalance is the point: the large variant IS the inline
+// buffer that keeps short queues off the heap, and there are exactly
+// two queues per extension.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Fifo {
+    Inline { len: u8, slots: [WaitEntry; INLINE_CAP] },
+    Heap(VecDeque<WaitEntry>),
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Fifo::Inline {
+            len: 0,
+            slots: [DUMMY; INLINE_CAP],
+        }
+    }
+}
+
+impl Fifo {
+    fn len(&self) -> usize {
+        match self {
+            Fifo::Inline { len, .. } => *len as usize,
+            Fifo::Heap(q) => q.len(),
+        }
+    }
+
+    fn iter(&self) -> FifoIter<'_> {
+        match self {
+            Fifo::Inline { len, slots } => FifoIter::Inline(slots[..*len as usize].iter()),
+            Fifo::Heap(q) => FifoIter::Heap(q.iter()),
+        }
+    }
+
+    fn front(&self) -> Option<&WaitEntry> {
+        match self {
+            Fifo::Inline { len: 0, .. } => None,
+            Fifo::Inline { slots, .. } => Some(&slots[0]),
+            Fifo::Heap(q) => q.front(),
+        }
+    }
+
+    fn push_back(&mut self, entry: WaitEntry) {
+        match self {
+            Fifo::Inline { len, slots } => {
+                if (*len as usize) < INLINE_CAP {
+                    slots[*len as usize] = entry;
+                    *len += 1;
+                } else {
+                    let mut q: VecDeque<WaitEntry> = slots.iter().copied().collect();
+                    q.push_back(entry);
+                    *self = Fifo::Heap(q);
+                }
+            }
+            Fifo::Heap(q) => q.push_back(entry),
+        }
+    }
+
+    /// Remove and return the entry at queue position `pos`, preserving
+    /// the relative order of the rest (FIFO semantics require it).
+    fn remove(&mut self, pos: usize) -> Option<WaitEntry> {
+        match self {
+            Fifo::Inline { len, slots } => {
+                let n = *len as usize;
+                if pos >= n {
+                    return None;
+                }
+                let entry = slots[pos];
+                slots.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                Some(entry)
+            }
+            Fifo::Heap(q) => q.remove(pos),
+        }
+    }
+
+}
+
+/// Borrowing iterator over a queue's entries, front to back.
+enum FifoIter<'a> {
+    Inline(std::slice::Iter<'a, WaitEntry>),
+    Heap(std::collections::vec_deque::Iter<'a, WaitEntry>),
+}
+
+impl<'a> Iterator for FifoIter<'a> {
+    type Item = &'a WaitEntry;
+
+    fn next(&mut self) -> Option<&'a WaitEntry> {
+        match self {
+            FifoIter::Inline(it) => it.next(),
+            FifoIter::Heap(it) => it.next(),
+        }
+    }
+}
+
+/// One resource's queue plus its cached minimum enqueue time.
+#[derive(Debug, Clone, Default)]
+struct Queue {
+    fifo: Fifo,
+    /// `min(entry.enqueued_at)` over the queue, `None` when empty.
+    /// Maintained incrementally; recomputed by scan only when the
+    /// minimal entry leaves the queue.
+    oldest: Option<SimTime>,
+}
+
+impl Queue {
+    fn push(&mut self, entry: WaitEntry) {
+        self.oldest = Some(match self.oldest {
+            Some(t) => t.min(entry.enqueued_at),
+            None => entry.enqueued_at,
+        });
+        self.fifo.push_back(entry);
+    }
+
+    fn note_removed(&mut self, removed: &WaitEntry) {
+        if Some(removed.enqueued_at) == self.oldest {
+            self.oldest = self.fifo.iter().map(|e| e.enqueued_at).min();
+        }
+    }
+
+    fn remove(&mut self, pos: usize) -> Option<WaitEntry> {
+        let entry = self.fifo.remove(pos)?;
+        self.note_removed(&entry);
+        Some(entry)
+    }
+}
+
 /// FIFO waitlists, one per resource.
 #[derive(Debug, Clone, Default)]
 pub struct Waitlist {
-    llc: VecDeque<WaitEntry>,
-    membw: VecDeque<WaitEntry>,
+    llc: Queue,
+    membw: Queue,
 }
 
 impl Waitlist {
@@ -48,14 +198,14 @@ impl Waitlist {
         Self::default()
     }
 
-    fn queue(&self, r: Resource) -> &VecDeque<WaitEntry> {
+    fn queue(&self, r: Resource) -> &Queue {
         match r {
             Resource::Llc => &self.llc,
             Resource::MemBandwidth => &self.membw,
         }
     }
 
-    fn queue_mut(&mut self, r: Resource) -> &mut VecDeque<WaitEntry> {
+    fn queue_mut(&mut self, r: Resource) -> &mut Queue {
         match r {
             Resource::Llc => &mut self.llc,
             Resource::MemBandwidth => &mut self.membw,
@@ -66,21 +216,21 @@ impl Waitlist {
     /// enqueued — admitting the duplicate would double-release its
     /// demand later.
     pub fn push(&mut self, r: Resource, entry: WaitEntry) -> Result<(), RdaError> {
-        if self.queue(r).iter().any(|e| e.pp == entry.pp) {
+        if self.queue(r).fifo.iter().any(|e| e.pp == entry.pp) {
             return Err(RdaError::DoubleWaitlist(entry.pp));
         }
-        self.queue_mut(r).push_back(entry);
+        self.queue_mut(r).push(entry);
         Ok(())
     }
 
     /// The longest-waiting period, without removing it.
     pub fn front(&self, r: Resource) -> Option<WaitEntry> {
-        self.queue(r).front().copied()
+        self.queue(r).fifo.front().copied()
     }
 
     /// Remove and return the longest-waiting period.
     pub fn pop(&mut self, r: Resource) -> Option<WaitEntry> {
-        self.queue_mut(r).pop_front()
+        self.queue_mut(r).remove(0)
     }
 
     /// Remove and return the *oldest* expired period: the entry with
@@ -89,28 +239,35 @@ impl Waitlist {
     /// strictly oldest-first per resource — even when a caller enqueued
     /// with non-monotonic timestamps (trace replay, direct API use) and
     /// queue position no longer matches wait time.
+    ///
+    /// O(1) when nothing has expired (the common case, via the cached
+    /// minimum): the oldest entry expires first, so an unexpired
+    /// minimum proves the whole queue is unexpired.
     pub fn pop_expired(&mut self, r: Resource, now: SimTime, timeout: u64) -> Option<WaitEntry> {
-        let pos = self
-            .queue(r)
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| now.since(e.enqueued_at).cycles() >= timeout)
-            .min_by_key(|(_, e)| e.enqueued_at)
-            .map(|(i, _)| i)?;
-        self.queue_mut(r).remove(pos)
+        let q = self.queue_mut(r);
+        let oldest = q.oldest?;
+        if now.since(oldest).cycles() < timeout {
+            return None;
+        }
+        // The cached minimum is expired; it is by definition the oldest
+        // expired entry. `min_by_key` kept the *first* of equals, so
+        // match that: take the first entry holding the minimal stamp.
+        let pos = q.fifo.iter().position(|e| e.enqueued_at == oldest)?;
+        q.remove(pos)
     }
 
     /// Enqueue time of the longest-waiting period (the next to expire).
-    /// Scans the whole queue rather than trusting queue position, for
-    /// the same non-monotonic-caller reason as [`Self::pop_expired`].
+    /// O(1) via the cached per-queue minimum, which tracks true wait
+    /// time rather than queue position (callers may enqueue with
+    /// non-monotonic timestamps — trace replay, direct API use).
     pub fn oldest(&self, r: Resource) -> Option<SimTime> {
-        self.queue(r).iter().map(|e| e.enqueued_at).min()
+        self.queue(r).oldest
     }
 
     /// Remove a specific period (e.g. its process was killed).
     pub fn cancel(&mut self, r: Resource, pp: PpId) -> bool {
         let q = self.queue_mut(r);
-        if let Some(pos) = q.iter().position(|e| e.pp == pp) {
+        if let Some(pos) = q.fifo.iter().position(|e| e.pp == pp) {
             q.remove(pos);
             true
         } else {
@@ -120,17 +277,19 @@ impl Waitlist {
 
     /// Number of periods waiting on a resource.
     pub fn len(&self, r: Resource) -> usize {
-        self.queue(r).len()
+        self.queue(r).fifo.len()
     }
 
     /// True when nothing waits on any resource.
     pub fn is_empty(&self) -> bool {
-        self.llc.is_empty() && self.membw.is_empty()
+        self.llc.fifo.len() == 0 && self.membw.fifo.len() == 0
     }
 
-    /// Iterate a resource's waiters front-to-back.
-    pub fn iter(&self, r: Resource) -> impl Iterator<Item = WaitEntry> + '_ {
-        self.queue(r).iter().copied()
+    /// Iterate a resource's waiters front-to-back, by reference — the
+    /// per-admission paths (snapshotting, invariant checks) must not
+    /// copy the queue to walk it.
+    pub fn iter(&self, r: Resource) -> impl Iterator<Item = &WaitEntry> {
+        self.queue(r).fifo.iter()
     }
 }
 
@@ -257,6 +416,35 @@ mod tests {
     }
 
     #[test]
+    fn oldest_cache_survives_removal_of_the_minimum() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 300)).unwrap();
+        w.push(Resource::Llc, e_at(2, 10, 100)).unwrap();
+        w.push(Resource::Llc, e_at(3, 10, 200)).unwrap();
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(100)));
+        // Removing the minimal entry forces a rescan: 200 is next.
+        assert!(w.cancel(Resource::Llc, PpId(2)));
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(200)));
+        // Removing a non-minimal entry leaves the cache untouched.
+        assert!(w.cancel(Resource::Llc, PpId(1)));
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(200)));
+        w.pop(Resource::Llc);
+        assert_eq!(w.oldest(Resource::Llc), None);
+    }
+
+    #[test]
+    fn ties_on_the_minimum_stamp_pop_in_queue_order() {
+        let mut w = Waitlist::new();
+        w.push(Resource::Llc, e_at(1, 10, 100)).unwrap();
+        w.push(Resource::Llc, e_at(2, 10, 100)).unwrap();
+        w.push(Resource::Llc, e_at(3, 10, 100)).unwrap();
+        let now = SimTime::from_cycles(500);
+        assert_eq!(w.pop_expired(Resource::Llc, now, 100).unwrap().pp, PpId(1));
+        assert_eq!(w.pop_expired(Resource::Llc, now, 100).unwrap().pp, PpId(2));
+        assert_eq!(w.pop_expired(Resource::Llc, now, 100).unwrap().pp, PpId(3));
+    }
+
+    #[test]
     fn expiry_boundary_is_inclusive() {
         let mut w = Waitlist::new();
         w.push(Resource::Llc, e_at(1, 10, 100)).unwrap();
@@ -264,5 +452,28 @@ mod tests {
         assert!(w
             .pop_expired(Resource::Llc, SimTime::from_cycles(300), 200)
             .is_some());
+    }
+
+    #[test]
+    fn queue_spills_past_the_inline_capacity_and_keeps_order() {
+        let mut w = Waitlist::new();
+        let n = (INLINE_CAP + 9) as u64;
+        for i in 0..n {
+            w.push(Resource::Llc, e_at(i, 10 + i, i)).unwrap();
+        }
+        assert_eq!(w.len(Resource::Llc), n as usize);
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(0)));
+        // Duplicate detection still works after the spill.
+        assert!(w.push(Resource::Llc, e_at(3, 1, 1)).is_err());
+        // Mid-queue cancellation across the spill boundary.
+        assert!(w.cancel(Resource::Llc, PpId(INLINE_CAP as u64)));
+        let order: Vec<u64> = w.iter(Resource::Llc).map(|x| x.pp.0).collect();
+        let expected: Vec<u64> = (0..n).filter(|&i| i != INLINE_CAP as u64).collect();
+        assert_eq!(order, expected);
+        // Drain fully in FIFO order.
+        for &i in &expected {
+            assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(i));
+        }
+        assert!(w.is_empty());
     }
 }

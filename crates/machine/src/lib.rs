@@ -31,5 +31,5 @@ pub mod profile;
 
 pub use config::MachineConfig;
 pub use energy::EnergyModel;
-pub use perf::{PerfModel, SegmentRates};
+pub use perf::{profile_bits_eq, PerfModel, SegmentRates};
 pub use profile::{AccessProfile, ReuseLevel};

@@ -69,6 +69,19 @@ impl Default for PerfParams {
     }
 }
 
+/// Bitwise profile equality — the sharing test of the co-run solver's
+/// dedup pass and the simulation's interval-to-interval rate memo.
+/// Deliberately *stricter* than `PartialEq`: `0.0` and `-0.0` compare
+/// equal yet are distinct bit patterns, and reusing a solved rate must
+/// be indistinguishable from recomputing it.
+pub fn profile_bits_eq(a: &AccessProfile, b: &AccessProfile) -> bool {
+    a.ws_bytes == b.ws_bytes
+        && a.reuse == b.reuse
+        && a.mem_frac.to_bits() == b.mem_frac.to_bits()
+        && a.flop_frac.to_bits() == b.flop_frac.to_bits()
+        && a.cpi_base.to_bits() == b.cpi_base.to_bits()
+}
+
 fn idx(reuse: ReuseLevel) -> usize {
     match reuse {
         ReuseLevel::Low => 0,
@@ -228,17 +241,57 @@ impl PerfModel {
     /// ceiling (aggregate traffic cannot exceed peak — a final uniform
     /// rate scale, folded into each region's effective CPI).
     pub fn solve_corun(&self, entries: &[(AccessProfile, u64)]) -> Vec<SegmentRates> {
+        let mut rates = Vec::new();
+        self.solve_corun_into(entries, &mut rates);
+        rates
+    }
+
+    /// [`Self::solve_corun`] into a caller-owned buffer — the
+    /// simulation's per-interval path, which must not allocate.
+    ///
+    /// Threads of the same process in the same phase present identical
+    /// `(profile, share)` entries, and [`Self::rates_with_dram`] is a
+    /// pure function of its inputs — so each *bit-identical* entry is
+    /// solved once per fixed-point iteration and its result replicated.
+    /// The accumulation over the replicated per-entry vector is
+    /// unchanged, keeping every output bit-for-bit equal to the naive
+    /// per-entry evaluation.
+    pub fn solve_corun_into(
+        &self,
+        entries: &[(AccessProfile, u64)],
+        rates: &mut Vec<SegmentRates>,
+    ) {
+        rates.clear();
         if entries.is_empty() {
-            return Vec::new();
+            return;
+        }
+        // Map each entry to the index of its first bit-identical
+        // occurrence. Inline buffers: co-run sets are at most a few
+        // dozen threads; fall back to no sharing beyond the buffer.
+        const MAX_DEDUP: usize = 64;
+        let mut rep = [0u16; MAX_DEDUP];
+        for (i, e) in entries.iter().enumerate().take(MAX_DEDUP) {
+            let mut found = i;
+            for (j, d) in entries.iter().enumerate().take(i) {
+                if rep[j] as usize == j && profile_bits_eq(&d.0, &e.0) && d.1 == e.1 {
+                    found = j;
+                    break;
+                }
+            }
+            rep[i] = found as u16;
         }
         let peak_bpc = self.cfg.dram_bw_bytes_per_cycle();
         let mut dram_eff = self.cfg.dram_cycles as f64;
-        let mut rates: Vec<SegmentRates> = Vec::new();
         for _ in 0..12 {
-            rates = entries
-                .iter()
-                .map(|(prof, share)| self.rates_with_dram(prof, *share, dram_eff))
-                .collect();
+            rates.clear();
+            for (i, (prof, share)) in entries.iter().enumerate() {
+                let r = if i < MAX_DEDUP && (rep[i] as usize) < i {
+                    rates[rep[i] as usize]
+                } else {
+                    self.rates_with_dram(prof, *share, dram_eff)
+                };
+                rates.push(r);
+            }
             let demand_bpc: f64 = rates.iter().map(|r| r.dram_bpi / r.cpi).sum();
             let rho = demand_bpc / peak_bpc;
             let target = self.cfg.dram_cycles as f64 * self.dram_latency_factor(rho);
@@ -251,11 +304,10 @@ impl PerfModel {
         let demand_bpc: f64 = rates.iter().map(|r| r.dram_bpi / r.cpi).sum();
         if demand_bpc > peak_bpc {
             let stretch = demand_bpc / peak_bpc;
-            for r in &mut rates {
+            for r in rates {
                 r.cpi *= stretch;
             }
         }
-        rates
     }
 
     /// Cycles to rebuild the private-cache footprint after a context
@@ -432,6 +484,63 @@ mod tests {
         let crowd: Vec<_> = (0..12).map(|_| (s, MIB)).collect();
         let each = m.solve_corun(&crowd)[0].cpi;
         assert!(each > alone, "streams must contend: {each} vs {alone}");
+    }
+
+    /// The pre-dedup solver, verbatim: one `rates_with_dram` per entry
+    /// per fixed-point iteration. The optimised path must match it to
+    /// the last bit.
+    fn solve_corun_naive(m: &PerfModel, entries: &[(AccessProfile, u64)]) -> Vec<SegmentRates> {
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let peak_bpc = m.config().dram_bw_bytes_per_cycle();
+        let mut dram_eff = m.config().dram_cycles as f64;
+        let mut rates: Vec<SegmentRates> = Vec::new();
+        for _ in 0..12 {
+            rates = entries
+                .iter()
+                .map(|(prof, share)| m.rates_with_dram(prof, *share, dram_eff))
+                .collect();
+            let demand_bpc: f64 = rates.iter().map(|r| r.dram_bpi / r.cpi).sum();
+            let rho = demand_bpc / peak_bpc;
+            let target = m.config().dram_cycles as f64 * m.dram_latency_factor(rho);
+            dram_eff = 0.5 * dram_eff + 0.5 * target;
+        }
+        let demand_bpc: f64 = rates.iter().map(|r| r.dram_bpi / r.cpi).sum();
+        if demand_bpc > peak_bpc {
+            let stretch = demand_bpc / peak_bpc;
+            for r in &mut rates {
+                r.cpi *= stretch;
+            }
+        }
+        rates
+    }
+
+    #[test]
+    fn corun_dedup_is_bit_identical_to_naive_evaluation() {
+        let m = model();
+        let a = prof(5.1, ReuseLevel::High);
+        let b = prof(8.0, ReuseLevel::Low);
+        let c = prof(2.0, ReuseLevel::Medium);
+        let cases: Vec<Vec<(AccessProfile, u64)>> = vec![
+            vec![(a, MIB)],
+            vec![(a, MIB); 12],
+            vec![(a, MIB), (b, 2 * MIB), (a, MIB), (c, MIB), (b, 2 * MIB), (a, 3 * MIB)],
+            (0..48).map(|i| ([a, b, c][i % 3], MIB * (1 + (i % 4) as u64))).collect(),
+            (0..80).map(|_| (a, MIB)).collect(), // beyond the dedup buffer
+        ];
+        for entries in cases {
+            let fast = m.solve_corun(&entries);
+            let naive = solve_corun_naive(&m, &entries);
+            assert_eq!(fast.len(), naive.len());
+            for (f, n) in fast.iter().zip(&naive) {
+                assert_eq!(f.cpi.to_bits(), n.cpi.to_bits());
+                assert_eq!(f.l1_mpi.to_bits(), n.l1_mpi.to_bits());
+                assert_eq!(f.llc_api.to_bits(), n.llc_api.to_bits());
+                assert_eq!(f.llc_mpi.to_bits(), n.llc_mpi.to_bits());
+                assert_eq!(f.dram_bpi.to_bits(), n.dram_bpi.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::detect::{detect_periods, DetectorConfig};
 use crate::window::{windowize, WindowConfig};
-use rda_metrics::regress::{log_fit, prediction_accuracy, Fit};
+use rda_metrics::regress::{clamp_samples, log_fit, prediction_accuracy, Fit, FitError};
 use rda_workloads::trace::TraceRecorder;
 
 /// One progress period's WSS across the profiled input scales.
@@ -23,6 +23,9 @@ pub struct WssSeries {
     pub measured: Vec<(f64, f64)>,
     /// The logarithmic fit over the *training* scales (all but last).
     pub fit: Option<Fit>,
+    /// Why the fit failed, when it did (too few scales profiled, or
+    /// degenerate measurements).
+    pub fit_error: Option<FitError>,
     /// Predicted WSS at the held-out (largest) input.
     pub predicted_last: Option<f64>,
     /// Prediction accuracy at the held-out input (paper's metric).
@@ -37,18 +40,30 @@ impl WssSeries {
             label: label.into(),
             measured,
             fit: None,
+            fit_error: None,
             predicted_last: None,
             accuracy: None,
         };
-        if s.measured.len() >= 3 {
-            let train = &s.measured[..s.measured.len() - 1];
-            if let Some(fit) = log_fit(train) {
+        if s.measured.len() < 3 {
+            // One training point (or none) underdetermines the model.
+            s.fit_error = Some(match s.measured.len() {
+                0 | 1 => FitError::Empty,
+                _ => FitError::SinglePoint,
+            });
+            return s;
+        }
+        // Real traces can hand us zero-WSS windows; floor them rather
+        // than poison the regression.
+        let train = clamp_samples(&s.measured[..s.measured.len() - 1]);
+        match log_fit(&train) {
+            Ok(fit) => {
                 let (x_last, y_last) = *s.measured.last().unwrap();
                 let pred = fit.predict_log(x_last);
                 s.predicted_last = Some(pred);
                 s.accuracy = Some(prediction_accuracy(pred, y_last));
                 s.fit = Some(fit);
             }
+            Err(e) => s.fit_error = Some(e),
         }
         s
     }
@@ -109,10 +124,26 @@ mod tests {
     }
 
     #[test]
-    fn too_few_points_yield_no_fit() {
+    fn too_few_points_yield_a_typed_fit_error() {
         let s = WssSeries::from_measurements("test", vec![(1.0, 2.0), (2.0, 3.0)]);
         assert!(s.fit.is_none());
         assert!(s.accuracy.is_none());
+        // Two measurements leave one training point.
+        assert_eq!(s.fit_error, Some(FitError::SinglePoint));
+        let s = WssSeries::from_measurements("test", vec![]);
+        assert_eq!(s.fit_error, Some(FitError::Empty));
+    }
+
+    #[test]
+    fn degenerate_measurements_surface_the_fit_error() {
+        // Four scales that all collapsed to the same input size: the
+        // regression cannot determine a slope, and says so.
+        let s = WssSeries::from_measurements(
+            "test",
+            vec![(100.0, 1.0), (100.0, 2.0), (100.0, 3.0), (100.0, 4.0)],
+        );
+        assert!(s.fit.is_none());
+        assert_eq!(s.fit_error, Some(FitError::ZeroVariance { n: 3 }));
     }
 
     #[test]

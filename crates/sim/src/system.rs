@@ -246,6 +246,17 @@ pub struct SystemSim {
     faults: FaultPlan,
     /// RDA call log (empty unless `SimConfig::record_rda_calls`).
     rda_calls: Vec<RdaCall>,
+    /// Scratch buffers reused across simulation intervals so the event
+    /// loop performs no per-interval heap allocation once warm.
+    scratch_running: Vec<(usize, TaskId)>,
+    scratch_procs: Vec<usize>,
+    scratch_entries: Vec<(rda_machine::AccessProfile, u64)>,
+    /// Co-run solve memo: when the running set's `(profile, share)`
+    /// entries are bit-identical to the previous interval's, the solved
+    /// rates are reused verbatim (the solver is a pure function of the
+    /// entries, so this cannot change any digest).
+    corun_key: Vec<(rda_machine::AccessProfile, u64)>,
+    corun_rates: Vec<rda_machine::SegmentRates>,
 }
 
 impl SystemSim {
@@ -323,6 +334,11 @@ impl SystemSim {
             timeline: Vec::new(),
             faults,
             rda_calls: Vec::new(),
+            scratch_running: Vec::new(),
+            scratch_procs: Vec::new(),
+            scratch_entries: Vec::new(),
+            corun_key: Vec::new(),
+            corun_rates: Vec::new(),
             cfg,
         };
         for p in 0..sim.procs.len() {
@@ -647,8 +663,11 @@ impl SystemSim {
                 ));
             }
             self.fill_cores();
-            let running: Vec<(usize, TaskId)> = self.sched.running_tasks().collect();
+            let mut running = std::mem::take(&mut self.scratch_running);
+            running.clear();
+            running.extend(self.sched.running_tasks());
             if running.is_empty() {
+                self.scratch_running = running;
                 // Every unfinished process is paused on a waitlist. The
                 // paper's design would deadlock here; with aging the
                 // machine sits idle until the oldest entry expires and
@@ -672,25 +691,36 @@ impl SystemSim {
             // --- rates for the co-running set ---
             // LLC pressure: distinct processes with at least one thread
             // on-CPU compete for capacity.
-            let mut seen_procs: Vec<usize> = Vec::with_capacity(running.len());
+            self.scratch_procs.clear();
             let mut total_ws: u64 = 0;
             for &(_, tid) in &running {
                 let p = self.threads[tid.0 as usize].proc;
-                if !seen_procs.contains(&p) {
-                    seen_procs.push(p);
+                if !self.scratch_procs.contains(&p) {
+                    self.scratch_procs.push(p);
                     total_ws += self.current_profile(p).ws_bytes;
                 }
             }
-            let entries: Vec<(rda_machine::AccessProfile, u64)> = running
-                .iter()
-                .map(|&(_, tid)| {
-                    let p = self.threads[tid.0 as usize].proc;
-                    let prof = self.current_profile(p);
-                    let share = self.perf.llc_share(prof.ws_bytes, total_ws);
-                    (prof, share)
-                })
-                .collect();
-            let rates = self.perf.solve_corun(&entries);
+            self.scratch_entries.clear();
+            for &(_, tid) in &running {
+                let p = self.threads[tid.0 as usize].proc;
+                let prof = self.current_profile(p);
+                let share = self.perf.llc_share(prof.ws_bytes, total_ws);
+                self.scratch_entries.push((prof, share));
+            }
+            // Re-solve only when the co-running set actually changed;
+            // between scheduler events it usually has not.
+            let unchanged = self.corun_key.len() == self.scratch_entries.len()
+                && self
+                    .corun_key
+                    .iter()
+                    .zip(&self.scratch_entries)
+                    .all(|(a, b)| rda_machine::profile_bits_eq(&a.0, &b.0) && a.1 == b.1);
+            if !unchanged {
+                self.perf
+                    .solve_corun_into(&self.scratch_entries, &mut self.corun_rates);
+                self.corun_key.clear();
+                self.corun_key.extend_from_slice(&self.scratch_entries);
+            }
 
             // --- horizon: next event distance in cycles ---
             let mut dt = self.next_rebalance.since(self.now).cycles().max(1);
@@ -703,7 +733,7 @@ impl SystemSim {
             for (i, &(core, tid)) in running.iter().enumerate() {
                 let th = &self.threads[tid.0 as usize];
                 let rem = self.procs[th.proc].remaining[th.slot];
-                let finish = th.overhead + (rem as f64 * rates[i].cpi).ceil() as u64;
+                let finish = th.overhead + (rem as f64 * self.corun_rates[i].cpi).ceil() as u64;
                 dt = dt.min(finish.max(1));
                 dt = dt.min(self.slice_end[core].since(self.now).cycles().max(1));
             }
@@ -711,13 +741,13 @@ impl SystemSim {
             // --- advance all running threads by dt ---
             let mut delta = PerfCounters::new();
             for (i, &(core, tid)) in running.iter().enumerate() {
+                let r = self.corun_rates[i];
                 let th = &mut self.threads[tid.0 as usize];
                 let mut cyc = dt;
                 let burned = th.overhead.min(cyc);
                 th.overhead -= burned;
                 cyc -= burned;
                 if cyc > 0 {
-                    let r = &rates[i];
                     let p = th.proc;
                     let slot = th.slot;
                     let prof = self.procs[p].program.phases[self.procs[p].phase].profile;
@@ -774,6 +804,7 @@ impl SystemSim {
             }
             self.apply_aging();
             self.sample_occupancy(running.len());
+            self.scratch_running = running;
             if self.cfg.paranoid {
                 self.rda
                     .check_invariants()

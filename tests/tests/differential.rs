@@ -278,3 +278,146 @@ fn invariants_hold_after_heavy_traffic() {
     }
     oracle.ext().check_invariants().unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Registry differential: the slab-arena `PpRegistry` against the
+// `BTreeMap` reference implementation it replaced. Arbitrary schedules
+// of register / mutate / complete / process-exit reclamation must leave
+// both with identical observable state after every single step —
+// including id-order iteration, which the snapshot digest depends on.
+// ---------------------------------------------------------------------
+
+mod registry_differential {
+    use proptest::prelude::*;
+    use rda_core::registry::{reference::BTreeRegistry, PpRegistry};
+    use rda_core::{mb, PpDemand, PpId, Resource, SiteId};
+    use rda_machine::ReuseLevel;
+    use rda_sched::ProcessId;
+    use rda_simcore::SimTime;
+
+    /// One step of a schedule. Id-bearing ops pick from the ids ever
+    /// allocated via an index draw, so they hit live ids, completed ids
+    /// (double completes), and — via the `+ 3` slack — ids never
+    /// allocated at all.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Register {
+            process: u32,
+            site: u32,
+            llc: bool,
+            ws_tenth_mb: u64,
+            accounted: u64,
+            admitted: bool,
+            at: u64,
+        },
+        Complete {
+            pick: usize,
+        },
+        /// Fault-style mutation on a live record: flip admission (what
+        /// waitlist admission does) or mark overflow (what aging does).
+        Mutate {
+            pick: usize,
+            set_admitted: bool,
+            set_overflow: bool,
+        },
+        /// Exit-time reclamation: complete every live period of one
+        /// process, in id order, exactly as `process_exit` does.
+        ExitProcess {
+            process: u32,
+        },
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => ((0u32..6, 0u32..4, any::<bool>(), 1u64..200),
+                  (0u64..50_000_000, any::<bool>(), 0u64..1_000_000))
+                .prop_map(|((process, site, llc, ws_tenth_mb), (accounted, admitted, at))| {
+                    Op::Register { process, site, llc, ws_tenth_mb, accounted, admitted, at }
+                }),
+            3 => (0usize..64).prop_map(|pick| Op::Complete { pick }),
+            2 => (0usize..64, any::<bool>(), any::<bool>())
+                .prop_map(|(pick, set_admitted, set_overflow)| {
+                    Op::Mutate { pick, set_admitted, set_overflow }
+                }),
+            1 => (0u32..6).prop_map(|process| Op::ExitProcess { process }),
+        ]
+    }
+
+    /// Full observable state must agree: counts, allocation history,
+    /// per-id lookup, and iteration *order*.
+    fn assert_equivalent(arena: &PpRegistry, model: &BTreeRegistry) {
+        assert_eq!(arena.len(), model.len());
+        assert_eq!(arena.is_empty(), model.is_empty());
+        assert_eq!(arena.allocated(), model.allocated());
+        let a: Vec<_> = arena.iter().copied().collect();
+        let b: Vec<_> = model.iter().copied().collect();
+        assert_eq!(a, b, "iteration order or contents diverged");
+        for id in 0..arena.allocated() + 3 {
+            let id = PpId(id);
+            assert_eq!(arena.was_allocated(id), model.was_allocated(id));
+            assert_eq!(arena.get(id), model.get(id), "lookup diverged at {id}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arena_registry_matches_btree_reference(ops in prop::collection::vec(arb_op(), 1..80)) {
+            let mut arena = PpRegistry::new();
+            let mut model = BTreeRegistry::new();
+            for op in &ops {
+                match *op {
+                    Op::Register { process, site, llc, ws_tenth_mb, accounted, admitted, at } => {
+                        let ws = mb(ws_tenth_mb as f64 / 10.0);
+                        let demand = if llc {
+                            PpDemand::llc(ws, ReuseLevel::High)
+                        } else {
+                            PpDemand {
+                                resource: Resource::MemBandwidth,
+                                amount: ws,
+                                reuse: ReuseLevel::Low,
+                            }
+                        };
+                        let now = SimTime::from_cycles(at);
+                        let a = arena.register(
+                            ProcessId(process), SiteId(site), demand, accounted, admitted, now);
+                        let b = model.register(
+                            ProcessId(process), SiteId(site), demand, accounted, admitted, now);
+                        prop_assert_eq!(a, b, "id allocation diverged");
+                    }
+                    Op::Complete { pick } => {
+                        // Reaches live, completed, and never-allocated ids.
+                        let id = PpId((pick as u64) % (arena.allocated() + 3));
+                        prop_assert_eq!(arena.complete(id), model.complete(id));
+                    }
+                    Op::Mutate { pick, set_admitted, set_overflow } => {
+                        let id = PpId((pick as u64) % (arena.allocated() + 3));
+                        let a = arena.get_mut(id).map(|r| {
+                            r.admitted = set_admitted;
+                            r.overflow = set_overflow;
+                            *r
+                        });
+                        let b = model.get_mut(id).map(|r| {
+                            r.admitted = set_admitted;
+                            r.overflow = set_overflow;
+                            *r
+                        });
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::ExitProcess { process } => {
+                        let live: Vec<PpId> = arena
+                            .iter()
+                            .filter(|r| r.process == ProcessId(process))
+                            .map(|r| r.id)
+                            .collect();
+                        for id in live {
+                            prop_assert_eq!(arena.complete(id), model.complete(id));
+                        }
+                    }
+                }
+                assert_equivalent(&arena, &model);
+            }
+        }
+    }
+}

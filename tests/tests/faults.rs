@@ -107,6 +107,13 @@ proptest! {
                     >= r.rda.begins,
                 "{}: period lost without admission or reclamation", policy
             );
+            // Protocol violations surface as typed errors; the internal
+            // desync counter must never move, no matter the fault
+            // schedule — kills mid-period, leaked and doubled ends all
+            // route through the former panic sites in pp_end and
+            // process_exit.
+            prop_assert_eq!(r.rda.desyncs, 0,
+                "{}: fault schedule tripped an internal desync", policy);
         }
     }
 
@@ -165,6 +172,8 @@ fn faulty_sweeps_are_thread_count_invariant() {
         .map(|r| r.result.rda.reclaimed + r.result.rda.rejected_ends + r.result.rda.clamped)
         .sum();
     assert!(recoveries > 0, "fault schedule injected nothing");
+    let desyncs: u64 = one.records.iter().map(|r| r.result.rda.desyncs).sum();
+    assert_eq!(desyncs, 0, "faulty sweep tripped an internal desync");
 }
 
 /// Degradation is graceful in the product sense: a moderately faulty
