@@ -97,7 +97,7 @@ pub fn churn_ops(rounds: usize) -> u64 {
             ext.process_exit(gone, SimTime::from_cycles(t));
             running.retain(|&(_, owner)| owner != gone);
             t += 60_000;
-            running.extend(ext.age_waitlist(SimTime::from_cycles(t)));
+            running.extend(ext.age_waitlist(SimTime::from_cycles(t)).resumed);
         }
     }
     let s = ext.stats();

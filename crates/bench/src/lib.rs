@@ -29,4 +29,4 @@ pub mod traceout;
 
 pub use cli::{sweep_args_from_env, SweepArgs};
 pub use headline::{headline_runs, headline_runs_cli, headline_runs_with, HeadlineResults};
-pub use traceout::TraceBundle;
+pub use traceout::{TraceBundle, TraceWriteError};

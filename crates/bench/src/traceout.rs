@@ -9,7 +9,30 @@
 use rda_machine::MachineConfig;
 use rda_sim::runner::RunRecord;
 use rda_trace::{chrome_trace_document, LabeledReport, TraceReport};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// A trace export that could not be written: the destination path plus
+/// the underlying I/O error. Typed so callers can branch on it (or at
+/// least print something actionable) instead of panicking.
+#[derive(Debug)]
+pub struct TraceWriteError {
+    /// The path the export was destined for.
+    pub path: PathBuf,
+    /// What the filesystem said.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for TraceWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for TraceWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Owned accumulator of labeled traces from one or more sweeps.
 #[derive(Debug, Clone, Default)]
@@ -65,14 +88,23 @@ impl TraceBundle {
         chrome_trace_document(&runs, MachineConfig::xeon_e5_2420().freq_hz)
     }
 
-    /// Write the merged document to `path` (pretty-printed).
-    pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_chrome_json().to_string_pretty())
+    /// Write the merged document to `path` (pretty-printed). An
+    /// unwritable path — missing directory, permission denied, path is
+    /// a directory — comes back as a typed [`TraceWriteError`], never
+    /// a panic.
+    pub fn write(&self, path: &Path) -> Result<(), TraceWriteError> {
+        std::fs::write(path, self.to_chrome_json().to_string_pretty()).map_err(|source| {
+            TraceWriteError {
+                path: path.to_path_buf(),
+                source,
+            }
+        })
     }
 
-    /// Write to `path`, reporting success on stdout and aborting the
-    /// process on I/O failure — the shared behaviour of every `exp_*`
-    /// binary's `--trace-out` handling.
+    /// Write to `path`, reporting success on stdout and exiting the
+    /// process non-zero with the typed error's message on I/O failure
+    /// — the shared behaviour of every `exp_*` binary's `--trace-out`
+    /// handling.
     pub fn write_or_die(&self, path: &Path) {
         match self.write(path) {
             Ok(()) => println!(
@@ -81,7 +113,7 @@ impl TraceBundle {
                 self.len()
             ),
             Err(e) => {
-                eprintln!("failed to write {}: {e}", path.display());
+                eprintln!("{e}");
                 std::process::exit(1);
             }
         }
@@ -126,6 +158,24 @@ mod tests {
             name,
             format!("{}/{}#r0", workloads[0].name, PolicyKind::Strict)
         );
+    }
+
+    #[test]
+    fn unwritable_path_is_a_typed_error_not_a_panic() {
+        let bundle = TraceBundle::new();
+        let bad = Path::new("/nonexistent-dir-for-sure/trace.json");
+        let err = bundle.write(bad).expect_err("write must fail");
+        assert_eq!(err.path, bad);
+        let msg = err.to_string();
+        assert!(
+            msg.starts_with("failed to write /nonexistent-dir-for-sure/trace.json:"),
+            "unexpected message: {msg}"
+        );
+        // A directory as the destination is also refused, not panicked.
+        let dir = std::env::temp_dir();
+        let err = bundle.write(&dir).expect_err("writing to a directory must fail");
+        assert_eq!(err.path, dir);
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

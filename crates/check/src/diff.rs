@@ -6,10 +6,12 @@
 //! calls and, after *every* event, demands:
 //!
 //! 1. the per-call results agree (outcome variant, allocated id, fast
-//!    flag, resumed list **in order**, error variant and payload);
+//!    flag, resumed/expired/shed lists **in order**, error variant and
+//!    payload);
 //! 2. the observable snapshots are bit-identical — both accounting
-//!    buckets, waitlist order with enqueue times, live periods, all
-//!    thirteen stats counters, and the id-allocator position;
+//!    buckets, waitlist order with enqueue times, live periods, every
+//!    stats counter (including the overload shed/expired/retried/
+//!    breaker counters), and the id-allocator position;
 //! 3. the memoised-decision caches digest identically;
 //! 4. the implementation's own [`RdaExtension::check_invariants`]
 //!    passes.
@@ -122,7 +124,7 @@ impl Oracle {
                 ) {
                     Ok(rda_core::BeginOutcome::Bypass) => Effect::Bypass,
                     Ok(rda_core::BeginOutcome::Run { pp, fast }) => Effect::Run { pp, fast },
-                    Ok(rda_core::BeginOutcome::Pause { pp }) => Effect::Pause { pp },
+                    Ok(rda_core::BeginOutcome::Pause { pp, shed }) => Effect::Pause { pp, shed },
                     Err(e) => Effect::Rejected(e),
                 };
                 let want = self
@@ -146,16 +148,33 @@ impl Oracle {
                     resumed: self
                         .ext
                         .process_exit(ProcessId(process), SimTime::from_cycles(t)),
+                    expired: Vec::new(),
                 };
                 let want = self.model.process_exit(ProcessId(process), t);
                 (got, want)
             }
             TraceEvent::Age { t } => {
+                let out = self.ext.age_waitlist(SimTime::from_cycles(t));
                 let got = Effect::Woken {
-                    resumed: self.ext.age_waitlist(SimTime::from_cycles(t)),
+                    resumed: out.resumed,
+                    expired: out.expired,
                 };
                 let want = self.model.age_waitlist(t);
                 (got, want)
+            }
+            TraceEvent::Retry {
+                t,
+                process,
+                site,
+                resource,
+            } => {
+                self.ext.note_retry(
+                    ProcessId(process),
+                    SiteId(site),
+                    resource,
+                    SimTime::from_cycles(t),
+                );
+                (Effect::Retried, self.model.note_retry())
             }
         };
 
@@ -292,6 +311,62 @@ mod tests {
         assert_eq!(s.clamped, 1, "oversized declaration rejected");
         assert_eq!(s.rejected_ends, 2, "unknown end + double end");
         assert!(s.aged_admissions >= 1, "aging fired");
+    }
+
+    #[test]
+    fn overload_schedule_replays_cleanly() {
+        // Bounded gate (RejectOldest evictions), deadline expiry,
+        // breaker trip + shed + recovery, and a client retry — the full
+        // overload vocabulary through both machines in one schedule.
+        let d = doc(
+            "strict",
+            "llc 15728640\noverload 1 reject_oldest\ndeadline 1000\nbreaker 8mb 6mb 2 2 0",
+            "begin 0 0 0 llc 10mb\n\
+             begin 10 1 1 llc 10mb\n\
+             begin 20 2 2 llc 10mb\n\
+             retry 30 1 1 llc\n\
+             begin 40 1 3 llc 10mb\n\
+             age 1100\n\
+             age 1200\n\
+             begin 1300 3 4 llc 1mb\n\
+             end 1400 0\n\
+             age 1500\n\
+             age 1600\n\
+             begin 1700 3 4 llc 1mb\n\
+             end 1800 4\n",
+        );
+        let report = replay(&d).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.final_snapshot.is_idle());
+        let s = report.final_snapshot.stats;
+        assert_eq!(s.shed, 3, "two head evictions + one breaker shed");
+        assert_eq!(s.expired, 1, "last waiter starved past its deadline");
+        assert_eq!(s.retried, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.paused, 3);
+        assert_eq!(report.final_snapshot.allocated, 5, "tail/breaker sheds allocate no id");
+        assert!(matches!(
+            report.effects[2],
+            Effect::Pause { shed: Some(_), .. }
+        ));
+        assert!(matches!(
+            report.effects[7],
+            Effect::Rejected(rda_core::RdaError::BreakerOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn degrade_and_reject_newest_schedules_replay_cleanly() {
+        for (policy, idle) in [("degrade", true), ("reject_newest", true)] {
+            let d = doc(
+                "strict",
+                &format!("llc 15728640\noverload 0 {policy}"),
+                "begin 0 0 0 llc 10mb\nbegin 10 1 1 llc 10mb\nbegin 20 2 2 llc 10mb\n\
+                 end 30 0\nexit 40 1\nexit 50 2\n",
+            );
+            let report = replay(&d).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            assert_eq!(report.final_snapshot.is_idle(), idle, "{policy}");
+            assert!(report.final_snapshot.stats.shed >= 2, "{policy}");
+        }
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl Dfs<'_> {
         h.write_u64(node.oracle.snapshot().digest());
         h.write_u64(node.oracle.ext().fastpath_digest());
         h.write_u64(node.oracle.model().cache_digest());
+        h.write_u64(node.oracle.model().breaker_digest());
         h.finish()
     }
 
@@ -201,7 +202,7 @@ impl Dfs<'_> {
                         *div,
                     ));
                 }
-                Ok(Effect::Run { pp, .. }) | Ok(Effect::Pause { pp }) => {
+                Ok(Effect::Run { pp, .. }) | Ok(Effect::Pause { pp, .. }) => {
                     if let TraceEvent::Begin { process, .. } = event {
                         child.begun[process as usize].push(pp.0);
                     }
@@ -382,6 +383,56 @@ mod tests {
             "{}",
             ex.divergence.map(|d| d.1.to_string()).unwrap_or_default()
         );
+    }
+
+    #[test]
+    fn overload_space_is_clean_for_every_shed_policy() {
+        use rda_core::{BreakerConfig, OverloadConfig, ShedPolicy};
+        for policy in [
+            ShedPolicy::RejectNewest,
+            ShedPolicy::RejectOldest,
+            ShedPolicy::DegradeToOverflow,
+        ] {
+            let mut cfg = small_cfg(PolicyKind::Strict);
+            cfg.overload = Some(OverloadConfig {
+                waitlist_cap: 1,
+                shed_policy: policy,
+                deadline_cycles: Some(900),
+                breaker: Some(BreakerConfig {
+                    high_water: 12_000,
+                    low_water: 6_000,
+                    trip_after: 1,
+                    recover_after: 1,
+                    shed_min_demand: 0,
+                }),
+            });
+            let b = |site, amount| Op::Begin {
+                site,
+                resource: Resource::Llc,
+                amount,
+            };
+            // Three 9/16-capacity demands: any two overflow a 16 000
+            // LLC, so every interleaving exercises the bounded gate,
+            // the deadline (900 < 3 steps), aging (1 200), and the
+            // single-tick breaker hysteresis.
+            let tpl = Template {
+                name: "overload".into(),
+                procs: vec![
+                    vec![b(0, 9_000), Op::End { nth: 0 }],
+                    vec![b(1, 9_000), Op::End { nth: 0 }],
+                    vec![b(2, 9_000), Op::Exit],
+                ],
+                age_ticks: 3,
+                step_cycles: 400,
+            };
+            let ex = explore(&cfg, &tpl);
+            assert!(
+                ex.clean(),
+                "{policy:?}: {}",
+                ex.divergence.map(|d| d.1.to_string()).unwrap_or_default()
+            );
+            assert!(ex.states > 0 && ex.completed > 0, "{policy:?}");
+        }
     }
 
     #[test]

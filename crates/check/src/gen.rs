@@ -17,7 +17,7 @@
 
 use crate::diff::{replay, Divergence};
 use crate::trace::{default_config, TraceDoc, TraceEvent};
-use rda_core::{DemandAudit, PolicyKind, Resource};
+use rda_core::{BreakerConfig, DemandAudit, OverloadConfig, PolicyKind, Resource, ShedPolicy};
 use rda_simcore::SplitMix64;
 
 /// Shape knobs for [`random_doc`].
@@ -65,6 +65,34 @@ pub fn random_doc(seed: u64, params: &GenParams) -> TraceDoc {
         _ => Some(1_000 + rng.next_below(4_000)),
     };
     cfg.min_eval_interval_cycles = 500 + rng.next_below(2_000);
+    // Overload control on two thirds of the seeds, so the bounded
+    // gate, deadlines, and breaker hysteresis face random schedules
+    // (and the other third keeps pure-closed-system coverage).
+    cfg.overload = match rng.next_below(3) {
+        0 => None,
+        _ => Some(OverloadConfig {
+            waitlist_cap: rng.next_below(4) as usize,
+            shed_policy: match rng.next_below(3) {
+                0 => ShedPolicy::RejectNewest,
+                1 => ShedPolicy::RejectOldest,
+                _ => ShedPolicy::DegradeToOverflow,
+            },
+            deadline_cycles: match rng.next_below(2) {
+                0 => None,
+                _ => Some(500 + rng.next_below(3_000)),
+            },
+            breaker: match rng.next_below(2) {
+                0 => None,
+                _ => Some(BreakerConfig {
+                    high_water: cfg.llc_capacity / 2 + rng.next_below(cfg.llc_capacity),
+                    low_water: cfg.llc_capacity / 4 + rng.next_below(cfg.llc_capacity / 4),
+                    trip_after: 1 + rng.next_below(3) as u32,
+                    recover_after: 1 + rng.next_below(3) as u32,
+                    shed_min_demand: rng.next_below(2_000),
+                }),
+            },
+        }),
+    };
 
     let mut events = Vec::with_capacity(params.events);
     let mut t: u64 = 0;
@@ -94,15 +122,21 @@ pub fn random_doc(seed: u64, params: &GenParams) -> TraceDoc {
                     amount: rng.next_below(cfg.llc_capacity * 3 / 2),
                 }
             }
-            55..=84 => TraceEvent::End {
+            55..=81 => TraceEvent::End {
                 // A little past the allocated range, so unknown ids and
                 // double ends occur naturally.
                 pp: rng.next_below(allocatable + 2),
                 t,
             },
-            85..=92 => TraceEvent::Exit {
+            82..=88 => TraceEvent::Exit {
                 t,
                 process: rng.next_below(params.procs as u64) as u32,
+            },
+            89..=91 => TraceEvent::Retry {
+                t,
+                process: rng.next_below(params.procs as u64) as u32,
+                site: rng.next_below(params.sites as u64) as u32,
+                resource: Resource::Llc,
             },
             _ => TraceEvent::Age { t },
         };

@@ -71,6 +71,17 @@ pub fn doc_from_calls(cfg: rda_core::RdaConfig, calls: &[RdaCall]) -> TraceDoc {
                 process: process.0,
             },
             RdaCall::Age { now } => TraceEvent::Age { t: now.cycles() },
+            RdaCall::Retry {
+                now,
+                process,
+                site,
+                resource,
+            } => TraceEvent::Retry {
+                t: now.cycles(),
+                process: process.0,
+                site: site.0,
+                resource,
+            },
         })
         .collect();
     TraceDoc { cfg, events }

@@ -19,8 +19,8 @@
 //! memoised decision cache — is reproduced exactly.
 
 use rda_core::{
-    DemandAudit, PolicyKind, PpId, PpSnap, RdaConfig, RdaError, RdaStats, Resource, Snapshot,
-    WaitSnap,
+    DemandAudit, PolicyKind, PpId, PpSnap, RdaConfig, RdaError, RdaStats, Resource, ShedPolicy,
+    Snapshot, WaitSnap,
 };
 use rda_sched::ProcessId;
 use rda_simcore::Fnv1a64;
@@ -43,6 +43,9 @@ pub enum Effect {
     Pause {
         /// The allocated (waitlisted) period id.
         pp: PpId,
+        /// Under [`ShedPolicy::RejectOldest`] at the waitlist cap, the
+        /// longest-queued waiter evicted to make room.
+        shed: Option<PpId>,
     },
     /// `pp_end` completed a period.
     End {
@@ -55,7 +58,12 @@ pub enum Effect {
     Woken {
         /// Waitlisted periods admitted by the call.
         resumed: Vec<(PpId, ProcessId)>,
+        /// Waitlisted periods expired past their deadline (only
+        /// `age_waitlist` under an overload deadline; empty otherwise).
+        expired: Vec<(PpId, ProcessId)>,
     },
+    /// `note_retry` ran: a client-side retry was counted.
+    Retried,
     /// The call was rejected with a typed error.
     Rejected(RdaError),
 }
@@ -103,6 +111,9 @@ pub struct RefModel {
     overflow: [u64; 2],
     cache: BTreeMap<(u32, u32), Cached>,
     stats: RdaStats,
+    breaker_open: [bool; 2],
+    breaker_above: [u32; 2],
+    breaker_below: [u32; 2],
 }
 
 fn idx(r: Resource) -> usize {
@@ -157,6 +168,9 @@ impl RefModel {
             overflow: [0, 0],
             cache: BTreeMap::new(),
             stats: RdaStats::default(),
+            breaker_open: [false; 2],
+            breaker_above: [0; 2],
+            breaker_below: [0; 2],
         }
     }
 
@@ -278,6 +292,15 @@ impl RefModel {
             });
         }
 
+        // Saturation circuit breaker: while open, the configured demand
+        // class is shed before touching the predicate or waitlist.
+        if let Some(b) = self.cfg.overload.and_then(|o| o.breaker) {
+            if self.breaker_open[i] && audited >= b.shed_min_demand {
+                self.stats.shed += 1;
+                return Effect::Rejected(RdaError::BreakerOpen { resource });
+            }
+        }
+
         // Fast path: only consulted while nothing waits on the resource
         // (so a repeat admission cannot jump ahead of a waiter).
         if self.waiters[i].is_empty()
@@ -316,6 +339,43 @@ impl RefModel {
                 fast: false,
             }
         } else {
+            // Bounded-waitlist admission gate: at the cap one side of
+            // the queue is shed per the configured policy.
+            let mut shed = None;
+            if let Some(ov) = self.cfg.overload {
+                if self.waiters[i].len() >= ov.waitlist_cap {
+                    match ov.shed_policy {
+                        ShedPolicy::RejectOldest if !self.waiters[i].is_empty() => {
+                            // Head drop: the longest-queued waiter is
+                            // evicted and its period completed.
+                            let victim = self.waiters[i].remove(0);
+                            self.periods.remove(&victim.pp);
+                            self.stats.shed += 1;
+                            shed = Some(PpId(victim.pp));
+                        }
+                        ShedPolicy::DegradeToOverflow => {
+                            // Degraded admit straight into the overflow
+                            // bucket, like an aged force-admission;
+                            // counted as shed, not admitted.
+                            let pp =
+                                self.alloc(process, site, resource, audited, accounted, true);
+                            self.periods.get_mut(&pp).expect("just inserted").overflow = true;
+                            self.overflow[i] += accounted;
+                            self.stats.shed += 1;
+                            return Effect::Run {
+                                pp: PpId(pp),
+                                fast: false,
+                            };
+                        }
+                        _ => {
+                            // Tail drop (RejectNewest, or RejectOldest
+                            // with nothing to evict): no id allocated.
+                            self.stats.shed += 1;
+                            return Effect::Rejected(RdaError::WaitlistFull { resource });
+                        }
+                    }
+                }
+            }
             let pp = self.alloc(process, site, resource, audited, accounted, false);
             self.waiters[i].push(Waiter {
                 pp,
@@ -324,7 +384,7 @@ impl RefModel {
             });
             self.stats.paused += 1;
             self.stats.max_waitlist = self.stats.max_waitlist.max(self.waiters[i].len() as u64);
-            Effect::Pause { pp: PpId(pp) }
+            Effect::Pause { pp: PpId(pp), shed }
         }
     }
 
@@ -384,9 +444,11 @@ impl RefModel {
             .map(|(&id, _)| id)
             .collect();
         let had_any = !live.is_empty();
+        let mut touched = [false; 2];
         for id in live {
             let rec = self.periods.remove(&id).expect("collected above");
             let i = idx(rec.resource);
+            touched[i] = true;
             if rec.admitted {
                 if rec.overflow {
                     self.overflow[i] -= rec.accounted;
@@ -402,27 +464,119 @@ impl RefModel {
         if !had_any {
             return Effect::Woken {
                 resumed: Vec::new(),
+                expired: Vec::new(),
             };
         }
+        // Only queues this exit touched (or queues holding an
+        // aged-past-timeout waiter) can admit anyone.
         let mut resumed = Vec::new();
         for r in Resource::ALL {
-            resumed.extend(self.drain(r, now));
+            if touched[idx(r)] || self.has_expired_waiter(r, now) {
+                resumed.extend(self.drain(r, now));
+            }
         }
-        Effect::Woken { resumed }
+        Effect::Woken {
+            resumed,
+            expired: Vec::new(),
+        }
     }
 
-    /// Model of `age_waitlist`: a no-op when aging is disabled.
+    /// Model of `age_waitlist`: deadline expiry, then aging-triggered
+    /// drains, then the saturation breaker. A no-op when neither aging
+    /// nor overload control is configured.
     pub fn age_waitlist(&mut self, now: u64) -> Effect {
-        if self.cfg.waitlist_timeout_cycles.is_none() {
+        if self.cfg.waitlist_timeout_cycles.is_none() && self.cfg.overload.is_none() {
             return Effect::Woken {
                 resumed: Vec::new(),
+                expired: Vec::new(),
             };
         }
+        // Deadline expiry first: repeatedly remove the waiter with the
+        // minimal enqueue time (first in queue order among equals) while
+        // it has waited past the deadline, completing its period.
+        let mut expired = Vec::new();
+        let mut expired_touched = [false; 2];
+        if let Some(deadline) = self.cfg.overload.and_then(|o| o.deadline_cycles) {
+            for r in Resource::ALL {
+                let i = idx(r);
+                while let Some(pos) = self.waiters[i]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.enqueued)
+                    .filter(|(_, w)| now.saturating_sub(w.enqueued) >= deadline)
+                    .map(|(p, _)| p)
+                {
+                    let w = self.waiters[i].remove(pos);
+                    let rec = self.periods.remove(&w.pp).expect("waiter is live");
+                    self.stats.expired += 1;
+                    expired_touched[i] = true;
+                    expired.push((PpId(w.pp), rec.process));
+                }
+            }
+        }
+        // No capacity was released since the last drain, so only queues
+        // an expiry touched (which may have exposed a fitting entry) or
+        // queues holding an aged-past-timeout waiter can admit anyone.
         let mut resumed = Vec::new();
         for r in Resource::ALL {
-            resumed.extend(self.drain(r, now));
+            if expired_touched[idx(r)] || self.has_expired_waiter(r, now) {
+                resumed.extend(self.drain(r, now));
+            }
         }
-        Effect::Woken { resumed }
+        self.evaluate_breaker();
+        Effect::Woken { resumed, expired }
+    }
+
+    /// Model of `note_retry`: count the client-side retry.
+    pub fn note_retry(&mut self) -> Effect {
+        self.stats.retried += 1;
+        Effect::Retried
+    }
+
+    /// True when resource `r` holds a waiter past the aging timeout.
+    fn has_expired_waiter(&self, r: Resource, now: u64) -> bool {
+        let Some(timeout) = self.cfg.waitlist_timeout_cycles else {
+            return false;
+        };
+        self.waiters[idx(r)]
+            .iter()
+            .map(|w| w.enqueued)
+            .min()
+            .is_some_and(|oldest| now.saturating_sub(oldest) >= timeout)
+    }
+
+    /// The saturation circuit breaker, advanced once per aging tick:
+    /// trip after `trip_after` consecutive ticks at or above the
+    /// high-water occupancy (nominal + overflow), reset after
+    /// `recover_after` consecutive ticks strictly below the low-water
+    /// mark; any off-streak tick resets its counter.
+    fn evaluate_breaker(&mut self) {
+        let Some(b) = self.cfg.overload.and_then(|o| o.breaker) else {
+            return;
+        };
+        for i in 0..2 {
+            let occupancy = self.usage[i].saturating_add(self.overflow[i]);
+            if self.breaker_open[i] {
+                if occupancy < b.low_water {
+                    self.breaker_below[i] += 1;
+                    if self.breaker_below[i] >= b.recover_after {
+                        self.breaker_open[i] = false;
+                        self.breaker_below[i] = 0;
+                    }
+                } else {
+                    self.breaker_below[i] = 0;
+                }
+            } else if occupancy >= b.high_water {
+                self.breaker_above[i] += 1;
+                if self.breaker_above[i] >= b.trip_after {
+                    self.breaker_open[i] = true;
+                    self.breaker_above[i] = 0;
+                    self.stats.breaker_trips += 1;
+                }
+            } else {
+                self.breaker_above[i] = 0;
+            }
+        }
     }
 
     /// Walk one resource's FIFO: admit nominally while the head fits,
@@ -536,6 +690,21 @@ impl RefModel {
         }
         acc ^ self.cache.len() as u64
     }
+
+    /// Digest of the saturation-breaker state (open flags and
+    /// hysteresis streak counters). The breaker is deliberately not
+    /// part of [`Snapshot`], so the explorer folds this into its memo
+    /// key — two DFS paths with identical snapshots but different
+    /// breaker streaks must not share a subtree.
+    pub fn breaker_digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        for i in 0..2 {
+            h.write_u64(self.breaker_open[i] as u64)
+                .write_u64(self.breaker_above[i] as u64)
+                .write_u64(self.breaker_below[i] as u64);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -560,7 +729,7 @@ mod tests {
             other => panic!("expected slow Run, got {other:?}"),
         };
         let b = match m.pp_begin(ProcessId(1), 1, Resource::Llc, mb(10.0), 10) {
-            Effect::Pause { pp } => pp,
+            Effect::Pause { pp, .. } => pp,
             other => panic!("expected Pause, got {other:?}"),
         };
         match m.pp_end(a, 20) {

@@ -23,6 +23,14 @@
 //! * `audit trust | clamp | reject`
 //! * `timeout none | <cycles>` — waitlist aging timeout
 //! * `interval <cycles>` — fast-path re-evaluation interval
+//! * `overload <cap> <reject_newest|reject_oldest|degrade>` — bounded
+//!   waitlist gate with its shedding policy
+//! * `deadline <cycles>` — per-request waitlist deadline (requires a
+//!   preceding `overload` line)
+//! * `breaker <high> <low> <trip> <recover> <min>` — saturation
+//!   circuit breaker: high/low occupancy water marks and minimum shed
+//!   demand as amounts, trip/recover hysteresis in ticks (requires a
+//!   preceding `overload` line)
 //!
 //! Events (all times in cycles; amounts accept a raw byte count or a
 //! decimal with an `mb` suffix):
@@ -32,11 +40,13 @@
 //!   begin order, so traces reference them by index
 //! * `exit <t> <process>`
 //! * `age <t>`
+//! * `retry <t> <process> <site> <llc|membw>` — a client-side retry of
+//!   a shed or expired arrival
 //!
 //! Shrunk counterexamples from the random generator are written in this
 //! format under `tests/corpus/` and replayed by CI forever after.
 
-use rda_core::{DemandAudit, PolicyKind, RdaConfig, Resource};
+use rda_core::{BreakerConfig, DemandAudit, OverloadConfig, PolicyKind, RdaConfig, Resource, ShedPolicy};
 use rda_machine::MachineConfig;
 use std::fmt::Write as _;
 
@@ -74,6 +84,17 @@ pub enum TraceEvent {
     Age {
         /// Call time, cycles.
         t: u64,
+    },
+    /// `note_retry(process, site, resource)` at cycle `t`.
+    Retry {
+        /// Call time, cycles.
+        t: u64,
+        /// The retrying process.
+        process: u32,
+        /// Static call site of the retried demand.
+        site: u32,
+        /// The resource the retried demand targets.
+        resource: Resource,
     },
 }
 
@@ -114,7 +135,7 @@ impl TraceDoc {
             let key = words.next().expect("non-empty line has a first word");
             let fields: Vec<&str> = words.collect();
             let fail = |msg: &str| format!("line {no}: {msg}: `{raw}`");
-            let is_event = matches!(key, "begin" | "end" | "exit" | "age");
+            let is_event = matches!(key, "begin" | "end" | "exit" | "age" | "retry");
             if !is_event && !events.is_empty() {
                 return Err(fail("header line after the first event"));
             }
@@ -155,6 +176,58 @@ impl TraceDoc {
                         _ => return Err(fail("expected `interval <cycles>`")),
                     }
                 }
+                "overload" => {
+                    cfg.overload = match fields.as_slice() {
+                        [cap, policy] => Some(OverloadConfig {
+                            waitlist_cap: cap.parse().map_err(|_| fail("bad waitlist cap"))?,
+                            shed_policy: match *policy {
+                                "reject_newest" => ShedPolicy::RejectNewest,
+                                "reject_oldest" => ShedPolicy::RejectOldest,
+                                "degrade" => ShedPolicy::DegradeToOverflow,
+                                _ => {
+                                    return Err(fail(
+                                        "shed policy must be reject_newest|reject_oldest|degrade",
+                                    ))
+                                }
+                            },
+                            deadline_cycles: None,
+                            breaker: None,
+                        }),
+                        _ => return Err(fail("expected `overload <cap> <policy>`")),
+                    }
+                }
+                "deadline" => {
+                    let ov = cfg
+                        .overload
+                        .as_mut()
+                        .ok_or_else(|| fail("deadline requires a preceding overload line"))?;
+                    ov.deadline_cycles = match fields.as_slice() {
+                        [n] => Some(n.parse().map_err(|_| fail("bad deadline"))?),
+                        _ => return Err(fail("expected `deadline <cycles>`")),
+                    }
+                }
+                "breaker" => {
+                    let breaker = match fields.as_slice() {
+                        [high, low, trip, recover, min] => BreakerConfig {
+                            high_water: parse_amount(Some(high), &fail)?,
+                            low_water: parse_amount(Some(low), &fail)?,
+                            trip_after: trip.parse().map_err(|_| fail("bad trip count"))?,
+                            recover_after: recover
+                                .parse()
+                                .map_err(|_| fail("bad recover count"))?,
+                            shed_min_demand: parse_amount(Some(min), &fail)?,
+                        },
+                        _ => {
+                            return Err(fail(
+                                "expected `breaker <high> <low> <trip> <recover> <min>`",
+                            ))
+                        }
+                    };
+                    cfg.overload
+                        .as_mut()
+                        .ok_or_else(|| fail("breaker requires a preceding overload line"))?
+                        .breaker = Some(breaker);
+                }
                 "begin" => match fields.as_slice() {
                     [t, process, site, resource, amount] => events.push(TraceEvent::Begin {
                         t: t.parse().map_err(|_| fail("bad time"))?,
@@ -188,6 +261,19 @@ impl TraceDoc {
                         t: t.parse().map_err(|_| fail("bad time"))?,
                     }),
                     _ => return Err(fail("expected `age <t>`")),
+                },
+                "retry" => match fields.as_slice() {
+                    [t, process, site, resource] => events.push(TraceEvent::Retry {
+                        t: t.parse().map_err(|_| fail("bad time"))?,
+                        process: process.parse().map_err(|_| fail("bad process"))?,
+                        site: site.parse().map_err(|_| fail("bad site"))?,
+                        resource: match *resource {
+                            "llc" => Resource::Llc,
+                            "membw" => Resource::MemBandwidth,
+                            _ => return Err(fail("resource must be llc|membw")),
+                        },
+                    }),
+                    _ => return Err(fail("expected `retry <t> <proc> <site> <res>`")),
                 },
                 _ => return Err(fail("unknown directive")),
             }
@@ -225,6 +311,24 @@ impl TraceDoc {
             }
         }
         let _ = writeln!(out, "interval {}", c.min_eval_interval_cycles);
+        if let Some(ov) = c.overload {
+            let policy = match ov.shed_policy {
+                ShedPolicy::RejectNewest => "reject_newest",
+                ShedPolicy::RejectOldest => "reject_oldest",
+                ShedPolicy::DegradeToOverflow => "degrade",
+            };
+            let _ = writeln!(out, "overload {} {policy}", ov.waitlist_cap);
+            if let Some(d) = ov.deadline_cycles {
+                let _ = writeln!(out, "deadline {d}");
+            }
+            if let Some(b) = ov.breaker {
+                let _ = writeln!(
+                    out,
+                    "breaker {} {} {} {} {}",
+                    b.high_water, b.low_water, b.trip_after, b.recover_after, b.shed_min_demand
+                );
+            }
+        }
         for ev in &self.events {
             match *ev {
                 TraceEvent::Begin {
@@ -248,6 +352,18 @@ impl TraceDoc {
                 }
                 TraceEvent::Age { t } => {
                     let _ = writeln!(out, "age {t}");
+                }
+                TraceEvent::Retry {
+                    t,
+                    process,
+                    site,
+                    resource,
+                } => {
+                    let r = match resource {
+                        Resource::Llc => "llc",
+                        Resource::MemBandwidth => "membw",
+                    };
+                    let _ = writeln!(out, "retry {t} {process} {site} {r}");
                 }
             }
         }
@@ -311,11 +427,46 @@ mod tests {
             TraceEvent::Age { t: 7 },
             TraceEvent::End { t: 9, pp: 0 },
             TraceEvent::Exit { t: 11, process: 0 },
+            TraceEvent::Retry {
+                t: 13,
+                process: 2,
+                site: 1,
+                resource: Resource::MemBandwidth,
+            },
         ]);
         doc.cfg.policy = PolicyKind::Partitioned { quota_frac: 0.25 };
         doc.cfg.waitlist_timeout_cycles = Some(999);
+        doc.cfg.overload = Some(OverloadConfig {
+            waitlist_cap: 8,
+            shed_policy: ShedPolicy::RejectOldest,
+            deadline_cycles: Some(12_000),
+            breaker: Some(BreakerConfig {
+                high_water: 14_000_000,
+                low_water: 7_000_000,
+                trip_after: 3,
+                recover_after: 5,
+                shed_min_demand: 1_000,
+            }),
+        });
         let reparsed = TraceDoc::parse(&doc.to_text()).unwrap();
         assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn parses_overload_headers() {
+        let doc = TraceDoc::parse(
+            "overload 4 degrade\ndeadline 500\nbreaker 10mb 5mb 2 3 1000\nage 1\n",
+        )
+        .unwrap();
+        let ov = doc.cfg.overload.expect("overload parsed");
+        assert_eq!(ov.waitlist_cap, 4);
+        assert_eq!(ov.shed_policy, ShedPolicy::DegradeToOverflow);
+        assert_eq!(ov.deadline_cycles, Some(500));
+        let b = ov.breaker.expect("breaker parsed");
+        assert_eq!(b.high_water, rda_core::mb(10.0));
+        assert_eq!(b.low_water, rda_core::mb(5.0));
+        assert_eq!((b.trip_after, b.recover_after), (2, 3));
+        assert_eq!(b.shed_min_demand, 1000);
     }
 
     #[test]
@@ -326,6 +477,11 @@ mod tests {
             ("end 0 0\npolicy strict", "header line after the first event"),
             ("frobnicate 1 2 3", "unknown directive"),
             ("begin 0 0 0 disk 10", "llc|membw"),
+            ("deadline 500", "requires a preceding overload"),
+            ("breaker 1 2 3 4 5", "requires a preceding overload"),
+            ("overload 4 sloppy", "reject_newest|reject_oldest|degrade"),
+            ("overload 4 degrade\nbreaker 1 2 3", "expected `breaker"),
+            ("retry 0 0 0 disk", "llc|membw"),
         ] {
             let err = TraceDoc::parse(text).unwrap_err();
             assert!(err.contains(needle), "`{text}` gave `{err}`");

@@ -26,6 +26,76 @@ pub enum DemandAudit {
     Reject,
 }
 
+/// What the bounded-waitlist admission gate does with an arrival that
+/// would push a resource's waitlist past
+/// [`OverloadConfig::waitlist_cap`] (open-system overload control; the
+/// paper's closed-system batch model never needed one — its waitlist
+/// depth is bounded by the process count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed the arriving period: `pp_begin` returns
+    /// [`crate::error::RdaError::WaitlistFull`] without allocating an
+    /// id, and the caller may retry later (tail drop).
+    RejectNewest,
+    /// Evict the longest-queued waiter to make room for the arrival;
+    /// the victim's period is completed with an error and reported via
+    /// [`crate::extension::BeginOutcome::Pause::shed`] (head drop —
+    /// fresh work is favoured because the oldest waiter has the least
+    /// chance of meeting any deadline).
+    RejectOldest,
+    /// Admit the arrival immediately into the degraded overflow
+    /// accounting bucket (invisible to the predicate), exactly like an
+    /// aged force-admission: latency is protected at the price of
+    /// nominal-isolation guarantees.
+    DegradeToOverflow,
+}
+
+/// Saturation circuit breaker: when a resource's total occupancy
+/// (nominal + overflow buckets) stays above `high_water` for
+/// `trip_after` consecutive evaluation ticks, the breaker opens and
+/// `pp_begin` sheds every arrival whose audited demand is at least
+/// `shed_min_demand` with [`crate::error::RdaError::BreakerOpen`].
+/// Recovery is hysteretic: the breaker resets only after occupancy has
+/// stayed below `low_water` for `recover_after` consecutive ticks, so
+/// it cannot flap on the boundary. Evaluated on every
+/// [`crate::extension::RdaExtension::age_waitlist`] tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Occupancy (bytes; nominal + overflow) at or above which a tick
+    /// counts toward tripping.
+    pub high_water: u64,
+    /// Occupancy strictly below which a tick counts toward recovery
+    /// (must be ≤ `high_water` for sane hysteresis).
+    pub low_water: u64,
+    /// Consecutive high-occupancy ticks before the breaker opens.
+    pub trip_after: u32,
+    /// Consecutive low-occupancy ticks before an open breaker resets.
+    pub recover_after: u32,
+    /// Only arrivals with audited demand ≥ this are shed while open;
+    /// smaller requests still pass (shed the expensive class first).
+    pub shed_min_demand: u64,
+}
+
+/// Overload-control knobs layered on the waitlist: a bounded admission
+/// gate with a pluggable [`ShedPolicy`], optional per-request deadlines
+/// (expired waiters fail typed instead of waiting forever), and an
+/// optional saturation [`BreakerConfig`]. `None` everywhere reproduces
+/// the paper's unbounded, deadline-free behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Maximum entries per resource waitlist before the gate sheds.
+    pub waitlist_cap: usize,
+    /// What to shed when the cap is hit.
+    pub shed_policy: ShedPolicy,
+    /// A waitlisted period older than this many cycles is expired on
+    /// the next aging tick with
+    /// [`crate::error::RdaError::DeadlineExceeded`] semantics (`None`
+    /// disables deadlines).
+    pub deadline_cycles: Option<u64>,
+    /// The saturation circuit breaker (`None` disables it).
+    pub breaker: Option<BreakerConfig>,
+}
+
 /// Tunables of the scheduling extension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RdaConfig {
@@ -54,6 +124,10 @@ pub struct RdaConfig {
     /// behaviour, where FIFO re-evaluation is the only way off the
     /// waitlist).
     pub waitlist_timeout_cycles: Option<u64>,
+    /// Open-system overload control (bounded waitlist, deadlines,
+    /// circuit breaker). `None` — the default — is the paper's
+    /// unbounded closed-system behaviour.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl RdaConfig {
@@ -73,6 +147,7 @@ impl RdaConfig {
             min_eval_interval_cycles: us(250.0),
             demand_audit: DemandAudit::Trust,
             waitlist_timeout_cycles: None,
+            overload: None,
         }
     }
 
@@ -85,6 +160,12 @@ impl RdaConfig {
     /// Enable waitlist aging with the given timeout in cycles.
     pub fn with_waitlist_timeout_cycles(mut self, cycles: u64) -> Self {
         self.waitlist_timeout_cycles = Some(cycles);
+        self
+    }
+
+    /// Enable open-system overload control.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
         self
     }
 
@@ -115,6 +196,7 @@ mod tests {
         // The paper's trusting, aging-free behaviour is the default.
         assert_eq!(c.demand_audit, DemandAudit::Trust);
         assert_eq!(c.waitlist_timeout_cycles, None);
+        assert_eq!(c.overload, None);
     }
 
     #[test]
@@ -125,5 +207,26 @@ mod tests {
             .with_waitlist_timeout_cycles(1_000);
         assert_eq!(c.demand_audit, DemandAudit::Clamp);
         assert_eq!(c.waitlist_timeout_cycles, Some(1_000));
+    }
+
+    #[test]
+    fn overload_builder_sets_all_knobs() {
+        let m = MachineConfig::xeon_e5_2420();
+        let overload = OverloadConfig {
+            waitlist_cap: 4,
+            shed_policy: ShedPolicy::RejectOldest,
+            deadline_cycles: Some(10_000),
+            breaker: Some(BreakerConfig {
+                high_water: 1 << 20,
+                low_water: 1 << 19,
+                trip_after: 3,
+                recover_after: 2,
+                shed_min_demand: 1 << 16,
+            }),
+        };
+        let c = RdaConfig::for_machine(&m, PolicyKind::Strict).with_overload(overload);
+        assert_eq!(c.overload, Some(overload));
+        let b = c.overload.unwrap().breaker.unwrap();
+        assert!(b.low_water <= b.high_water, "hysteresis band is ordered");
     }
 }

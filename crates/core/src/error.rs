@@ -77,6 +77,28 @@ pub enum RdaError {
         /// The resource's nominal capacity.
         capacity: u64,
     },
+    /// A waitlisted period outlived its configured deadline
+    /// ([`crate::config::OverloadConfig::deadline_cycles`]) and was
+    /// expired on an aging tick instead of ever being admitted.
+    DeadlineExceeded(PpId),
+    /// The bounded admission gate shed an arrival because the
+    /// resource's waitlist is at
+    /// [`crate::config::OverloadConfig::waitlist_cap`] (under
+    /// [`crate::config::ShedPolicy::RejectNewest`], or
+    /// `RejectOldest` with an empty queue). No period id was
+    /// allocated; the caller may back off and retry.
+    WaitlistFull {
+        /// The resource whose waitlist is full.
+        resource: Resource,
+    },
+    /// The saturation circuit breaker is open for this resource and the
+    /// arrival's audited demand is at or above the configured shed
+    /// class ([`crate::config::BreakerConfig::shed_min_demand`]). No
+    /// period id was allocated; the caller may back off and retry.
+    BreakerOpen {
+        /// The resource whose breaker is open.
+        resource: Resource,
+    },
     /// The registry and another internal structure disagreed about a
     /// period's existence (e.g. a record vanished between a liveness
     /// check and its removal) — a scheduler bug, not an application
@@ -109,6 +131,15 @@ impl fmt::Display for RdaError {
                 write!(f, "{pp} ended while waitlisted — its process should be paused")
             }
             RdaError::DoubleWaitlist(pp) => write!(f, "{pp} double-waitlisted"),
+            RdaError::DeadlineExceeded(pp) => {
+                write!(f, "{pp} deadline exceeded while waitlisted")
+            }
+            RdaError::WaitlistFull { resource } => {
+                write!(f, "{resource} waitlist full — arrival shed")
+            }
+            RdaError::BreakerOpen { resource } => {
+                write!(f, "{resource} circuit breaker open — arrival shed")
+            }
             RdaError::RegistryDesync(pp) => {
                 write!(f, "{pp} registry record desynchronized — scheduler bug")
             }
@@ -153,6 +184,24 @@ mod tests {
         assert_eq!(
             RdaError::RegistryDesync(PpId(9)).to_string(),
             "pp#9 registry record desynchronized — scheduler bug"
+        );
+        assert_eq!(
+            RdaError::DeadlineExceeded(PpId(4)).to_string(),
+            "pp#4 deadline exceeded while waitlisted"
+        );
+        assert_eq!(
+            RdaError::WaitlistFull {
+                resource: Resource::Llc
+            }
+            .to_string(),
+            "LLC waitlist full — arrival shed"
+        );
+        assert_eq!(
+            RdaError::BreakerOpen {
+                resource: Resource::MemBandwidth
+            }
+            .to_string(),
+            "MemBW circuit breaker open — arrival shed"
         );
         let e = RdaError::DemandOverflow {
             resource: Resource::Llc,

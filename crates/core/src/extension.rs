@@ -44,7 +44,7 @@
 //! see — so degraded admissions can never wedge the nominal books shut.
 
 use crate::api::{PpDemand, PpId, Resource, SiteId};
-use crate::config::{DemandAudit, RdaConfig};
+use crate::config::{DemandAudit, RdaConfig, ShedPolicy};
 use crate::error::{InvariantKind, RdaError};
 use crate::fastpath::FastPathCache;
 use crate::monitor::ResourceMonitor;
@@ -89,6 +89,16 @@ pub struct RdaStats {
     /// `pp_end` calls rejected with a typed error (unknown id, double
     /// end, or end of a waitlisted period).
     pub rejected_ends: u64,
+    /// Arrivals shed by overload control: bounded-gate drops (either
+    /// end of the queue), breaker sheds, and degraded
+    /// direct-to-overflow admissions.
+    pub shed: u64,
+    /// Waitlisted periods expired past their configured deadline.
+    pub expired: u64,
+    /// Client-side retries recorded via [`RdaExtension::note_retry`].
+    pub retried: u64,
+    /// Times the saturation circuit breaker tripped open.
+    pub breaker_trips: u64,
     /// Operations failed with [`RdaError::RegistryDesync`] or a
     /// rolled-back waitlist push — nonzero only if the extension itself
     /// has a bug. Excluded from the snapshot digest so existing golden
@@ -116,7 +126,26 @@ pub enum BeginOutcome {
     Pause {
         /// The allocated (waitlisted) period id.
         pp: PpId,
+        /// Under [`ShedPolicy::RejectOldest`], the longest-queued
+        /// waiter the gate evicted to make room for this arrival. The
+        /// victim's period is already completed; the caller must fail
+        /// its request. `None` when nothing was evicted.
+        shed: Option<PpId>,
     },
+}
+
+/// Outcome of an aging tick ([`RdaExtension::age_waitlist`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgeOutcome {
+    /// Waitlisted periods admitted (nominally or by aging); the caller
+    /// must wake their processes.
+    pub resumed: Vec<(PpId, ProcessId)>,
+    /// Waitlisted periods expired past their deadline with
+    /// [`RdaError::DeadlineExceeded`] semantics; their periods are
+    /// already completed and the caller must fail their requests.
+    /// Always empty unless [`crate::config::OverloadConfig::deadline_cycles`]
+    /// is set.
+    pub expired: Vec<(PpId, ProcessId)>,
 }
 
 /// Outcome of a `pp_end` call.
@@ -143,6 +172,12 @@ pub struct RdaExtension {
     /// feed back into scheduling decisions, so run digests are
     /// byte-identical with tracing on or off.
     sink: Option<TraceSink>,
+    /// Saturation-breaker state per resource (order of
+    /// [`Resource::ALL`]): open flag plus the consecutive-tick
+    /// hysteresis counters. All zero unless a breaker is configured.
+    breaker_open: [bool; 2],
+    breaker_above: [u32; 2],
+    breaker_below: [u32; 2],
 }
 
 impl RdaExtension {
@@ -155,6 +190,9 @@ impl RdaExtension {
             fastpath: FastPathCache::new(),
             stats: RdaStats::default(),
             sink: None,
+            breaker_open: [false; 2],
+            breaker_above: [0; 2],
+            breaker_below: [0; 2],
             cfg,
         }
     }
@@ -390,6 +428,18 @@ impl RdaExtension {
             });
         }
 
+        // Saturation circuit breaker: while open, shed the configured
+        // demand class before it can touch the predicate or waitlist.
+        if let Some(b) = self.cfg.overload.and_then(|o| o.breaker) {
+            if self.breaker_open[Self::resource_index(resource)] && audited >= b.shed_min_demand {
+                self.stats.shed += 1;
+                ev.kind = EventKind::Shed;
+                ev.reject = RejectKind::BreakerOpen;
+                self.emit(ev);
+                return Err(RdaError::BreakerOpen { resource });
+            }
+        }
+
         // Fast path: repeat entry of a recently validated site while no
         // one is waitlisted ahead of us.
         if self.waitlist.len(resource) == 0
@@ -443,6 +493,73 @@ impl RdaExtension {
                 Ok(BeginOutcome::Run { pp, fast: false })
             }
             Decision::Pause => {
+                // Bounded-waitlist admission gate: an open system must
+                // not queue without bound, so at the cap one side of
+                // the queue is shed per the configured policy.
+                let mut shed_victim = None;
+                if let Some(ov) = self.cfg.overload {
+                    if self.waitlist.len(resource) >= ov.waitlist_cap {
+                        match ov.shed_policy {
+                            ShedPolicy::RejectOldest if self.waitlist.len(resource) > 0 => {
+                                // Head drop: evict the longest-queued
+                                // waiter — it has the least chance of
+                                // meeting any deadline — and queue the
+                                // arrival in its place.
+                                let victim =
+                                    self.waitlist.pop(resource).expect("non-empty checked above");
+                                let mut sv = TraceEvent::at(now.cycles(), EventKind::Shed);
+                                sv.pp = victim.pp.0;
+                                sv.resource = Self::trace_resource(resource);
+                                sv.amount = victim.accounted;
+                                sv.reject = RejectKind::WaitlistFull;
+                                sv.wait_cycles =
+                                    now.cycles().saturating_sub(victim.enqueued_at.cycles());
+                                match self.registry.complete(victim.pp) {
+                                    Some(rec) => {
+                                        sv.process = rec.process.0;
+                                        sv.site = rec.site.0;
+                                    }
+                                    None => self.stats.desyncs += 1,
+                                }
+                                self.stats.shed += 1;
+                                self.emit(sv);
+                                shed_victim = Some(victim.pp);
+                            }
+                            ShedPolicy::DegradeToOverflow => {
+                                // Degraded admit: straight into the
+                                // overflow bucket like an aged
+                                // force-admission — invisible to the
+                                // predicate, so the nominal books stay
+                                // balanced.
+                                let pp = self
+                                    .registry
+                                    .register(process, site, demand, accounted, true, now);
+                                match self.registry.get_mut(pp) {
+                                    Some(rec) => rec.overflow = true,
+                                    None => self.stats.desyncs += 1,
+                                }
+                                self.monitor.increment_overflow(resource, accounted);
+                                self.stats.shed += 1;
+                                ev.kind = EventKind::Shed;
+                                ev.pp = pp.0;
+                                ev.amount = accounted;
+                                self.emit(ev);
+                                return Ok(BeginOutcome::Run { pp, fast: false });
+                            }
+                            _ => {
+                                // Tail drop (RejectNewest, or
+                                // RejectOldest with nothing to evict):
+                                // shed the arrival itself, allocating
+                                // no id.
+                                self.stats.shed += 1;
+                                ev.kind = EventKind::Shed;
+                                ev.reject = RejectKind::WaitlistFull;
+                                self.emit(ev);
+                                return Err(RdaError::WaitlistFull { resource });
+                            }
+                        }
+                    }
+                }
                 let pp = self
                     .registry
                     .register(process, site, demand, accounted, false, now);
@@ -472,7 +589,10 @@ impl RdaExtension {
                 ev.pp = pp.0;
                 ev.amount = accounted;
                 self.emit(ev);
-                Ok(BeginOutcome::Pause { pp })
+                Ok(BeginOutcome::Pause {
+                    pp,
+                    shed: shed_victim,
+                })
             }
         }
     }
@@ -636,28 +756,130 @@ impl RdaExtension {
         resumed
     }
 
-    /// Apply waitlist aging at `now`: force-admit every period that has
-    /// waited past the configured timeout (no-op when aging is
-    /// disabled), then admit any newly fitting heads. Returns the
-    /// admitted periods; the caller must wake their processes.
+    /// Apply waitlist aging at `now`: expire every waiter past its
+    /// deadline (when deadlines are configured), force-admit every
+    /// period that has waited past the aging timeout (no-op when aging
+    /// is disabled), admit any newly fitting heads, then evaluate the
+    /// saturation circuit breaker. Returns the admitted and expired
+    /// periods; the caller must wake the former and fail the latter.
     ///
     /// The simulation driver calls this on its aging deadline so a
-    /// starved period is admitted even when no `pp_end` ever arrives.
-    pub fn age_waitlist(&mut self, now: SimTime) -> Vec<(PpId, ProcessId)> {
-        if self.cfg.waitlist_timeout_cycles.is_none() {
-            return Vec::new();
+    /// starved period is admitted even when no `pp_end` ever arrives;
+    /// with overload control enabled it must be called on every tick —
+    /// breaker hysteresis advances only here.
+    pub fn age_waitlist(&mut self, now: SimTime) -> AgeOutcome {
+        let mut out = AgeOutcome::default();
+        if self.cfg.waitlist_timeout_cycles.is_none() && self.cfg.overload.is_none() {
+            return out;
         }
-        let mut resumed = Vec::new();
-        for r in Resource::ALL {
-            // No capacity was released since the last drain, so a
-            // still-unexpired queue cannot admit anyone: skip it. The
-            // expiry probe is O(1) via the waitlist's cached minimum
-            // enqueue time.
-            if self.has_expired_waiter(r, now) {
-                resumed.extend(self.drain_waitlist(r, now));
+        // Deadline expiry first: a waiter past its deadline can no
+        // longer usefully be admitted, and removing a blocking head may
+        // expose fitting entries queued behind it.
+        let deadline = self.cfg.overload.and_then(|o| o.deadline_cycles);
+        let mut expired_touched = [false; Resource::ALL.len()];
+        if let Some(deadline) = deadline {
+            for r in Resource::ALL {
+                while let Some(entry) = self.waitlist.pop_expired(r, now, deadline) {
+                    match self.registry.complete(entry.pp) {
+                        Some(rec) => {
+                            self.stats.expired += 1;
+                            expired_touched[Self::resource_index(r)] = true;
+                            let mut ev = TraceEvent::at(now.cycles(), EventKind::Expire);
+                            ev.process = rec.process.0;
+                            ev.site = rec.site.0;
+                            ev.pp = entry.pp.0;
+                            ev.resource = Self::trace_resource(r);
+                            ev.amount = entry.accounted;
+                            ev.wait_cycles =
+                                now.cycles().saturating_sub(entry.enqueued_at.cycles());
+                            self.emit(ev);
+                            out.expired.push((entry.pp, rec.process));
+                        }
+                        None => self.stats.desyncs += 1,
+                    }
+                }
             }
         }
-        resumed
+        for r in Resource::ALL {
+            // No capacity was released since the last drain, so a queue
+            // with neither a deadline removal nor an aged-past-timeout
+            // waiter cannot admit anyone: skip it. The aging probe is
+            // O(1) via the waitlist's cached minimum enqueue time.
+            if expired_touched[Self::resource_index(r)] || self.has_expired_waiter(r, now) {
+                out.resumed.extend(self.drain_waitlist(r, now));
+            }
+        }
+        self.evaluate_breaker(now);
+        out
+    }
+
+    /// Evaluate the saturation circuit breaker on an aging tick: trip
+    /// after [`crate::config::BreakerConfig::trip_after`] consecutive
+    /// ticks at or above the high-water occupancy (nominal + overflow),
+    /// reset after `recover_after` consecutive ticks strictly below the
+    /// low-water mark. Any tick off the streak resets its counter —
+    /// that is the hysteresis that keeps the breaker from flapping.
+    fn evaluate_breaker(&mut self, now: SimTime) {
+        let Some(b) = self.cfg.overload.and_then(|o| o.breaker) else {
+            return;
+        };
+        for r in Resource::ALL {
+            let i = Self::resource_index(r);
+            let occupancy = self.monitor.usage(r).saturating_add(self.monitor.overflow(r));
+            if self.breaker_open[i] {
+                if occupancy < b.low_water {
+                    self.breaker_below[i] += 1;
+                    if self.breaker_below[i] >= b.recover_after {
+                        self.breaker_open[i] = false;
+                        self.breaker_below[i] = 0;
+                        let mut ev = TraceEvent::at(now.cycles(), EventKind::BreakerReset);
+                        ev.resource = Self::trace_resource(r);
+                        ev.amount = occupancy;
+                        self.emit(ev);
+                    }
+                } else {
+                    self.breaker_below[i] = 0;
+                }
+            } else if occupancy >= b.high_water {
+                self.breaker_above[i] += 1;
+                if self.breaker_above[i] >= b.trip_after {
+                    self.breaker_open[i] = true;
+                    self.breaker_above[i] = 0;
+                    self.stats.breaker_trips += 1;
+                    let mut ev = TraceEvent::at(now.cycles(), EventKind::BreakerTrip);
+                    ev.resource = Self::trace_resource(r);
+                    ev.amount = occupancy;
+                    self.emit(ev);
+                }
+            } else {
+                self.breaker_above[i] = 0;
+            }
+        }
+    }
+
+    /// Whether the saturation breaker is currently open for `r`.
+    pub fn breaker_is_open(&self, r: Resource) -> bool {
+        self.breaker_open[Self::resource_index(r)]
+    }
+
+    /// Record a client-side retry of a previously shed or expired
+    /// arrival. The extension never schedules retries itself — the
+    /// caller owns the backoff clock — but counting them here puts the
+    /// retry stream into the stats digest and the trace, where the
+    /// reference model can check it.
+    pub fn note_retry(
+        &mut self,
+        process: ProcessId,
+        site: SiteId,
+        resource: Resource,
+        now: SimTime,
+    ) {
+        self.stats.retried += 1;
+        let mut ev = TraceEvent::at(now.cycles(), EventKind::Retry);
+        ev.process = process.0;
+        ev.site = site.0;
+        ev.resource = Self::trace_resource(resource);
+        self.emit(ev);
     }
 
     /// True when resource `r` has at least one waiter past the aging
@@ -897,7 +1119,7 @@ mod tests {
             pps.push(must_run(&mut e, p, 0, demand(5.0), t(p as u64)));
         }
         let paused = match begin(&mut e, 3, 0, demand(5.0), t(3)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("expected Pause, got {other:?}"),
         };
         assert_eq!(e.waitlist_len(Resource::Llc), 1);
@@ -1185,7 +1407,7 @@ mod tests {
         let mut e = ext(PolicyKind::Strict);
         let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
         let waiting = match begin(&mut e, 1, 0, demand(5.0), t(1)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         assert_eq!(
@@ -1247,16 +1469,17 @@ mod tests {
         let mut e = ext_cfg(cfg);
         let hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
         let starved = match begin(&mut e, 1, 0, demand(10.0), t(10)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         // Before the timeout, nothing moves.
-        assert!(e.age_waitlist(t(500)).is_empty());
+        assert_eq!(e.age_waitlist(t(500)), AgeOutcome::default());
         assert_eq!(e.waitlist_len(Resource::Llc), 1);
         // After it, the waiter is force-admitted into the overflow
         // bucket — the nominal books are untouched.
-        let resumed = e.age_waitlist(t(1_010));
-        assert_eq!(resumed, vec![(starved, ProcessId(1))]);
+        let out = e.age_waitlist(t(1_010));
+        assert_eq!(out.resumed, vec![(starved, ProcessId(1))]);
+        assert!(out.expired.is_empty(), "no deadlines configured");
         assert_eq!(e.stats().aged_admissions, 1);
         assert_eq!(e.usage(Resource::Llc), mb(14.0));
         assert_eq!(e.overflow_usage(Resource::Llc), mb(10.0));
@@ -1280,20 +1503,20 @@ mod tests {
         let mut e = ext_cfg(cfg);
         let _hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
         let young = match begin(&mut e, 1, 0, demand(10.0), t(500)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         let old = match begin(&mut e, 2, 0, demand(10.0), t(100)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         // At t=1200 only the t=100 entry has waited ≥ 1000 cycles.
-        let resumed = e.age_waitlist(t(1_200));
-        assert_eq!(resumed, vec![(old, ProcessId(2))], "oldest-first");
+        let out = e.age_waitlist(t(1_200));
+        assert_eq!(out.resumed, vec![(old, ProcessId(2))], "oldest-first");
         assert_eq!(e.waitlist_len(Resource::Llc), 1);
         // The younger entry ages out later, in its own turn.
-        let resumed = e.age_waitlist(t(1_600));
-        assert_eq!(resumed, vec![(young, ProcessId(1))]);
+        let out = e.age_waitlist(t(1_600));
+        assert_eq!(out.resumed, vec![(young, ProcessId(1))]);
         assert_eq!(e.stats().aged_admissions, 2);
         e.check_invariants().unwrap();
     }
@@ -1304,7 +1527,7 @@ mod tests {
         let mut e = ext_cfg(cfg);
         let a = must_run(&mut e, 0, 0, demand(14.0), t(0));
         let waiting = match begin(&mut e, 1, 1, demand(5.0), t(7)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         let s = e.snapshot();
@@ -1336,11 +1559,11 @@ mod tests {
         let _b = must_run(&mut e, 1, 0, demand(7.0), t(0));
         // Head: 12 MB. Behind it: 6 MB. Neither fits while saturated.
         let head = match begin(&mut e, 2, 0, demand(12.0), t(10)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         let small = match begin(&mut e, 3, 0, demand(6.0), t(20)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         // Ending the 8 MB period long after the timeout leaves 7 MB
@@ -1366,7 +1589,7 @@ mod tests {
         let a = must_run(&mut e, 0, 0, demand(8.0), t(0));
         let b = must_run(&mut e, 1, 0, demand(7.0), t(0));
         let big = match begin(&mut e, 2, 0, demand(12.0), t(10)) {
-            BeginOutcome::Pause { pp } => pp,
+            BeginOutcome::Pause { pp, .. } => pp,
             other => panic!("{other:?}"),
         };
         // Ending the 8 MB period at t=5_000 leaves 7 MB used; the
@@ -1554,5 +1777,210 @@ mod tests {
         e.process_exit(ProcessId(0), t(4));
         assert_eq!(e.stats().desyncs, 0);
         e.check_invariants().unwrap();
+    }
+
+    // ---- open-system overload control ----
+
+    use crate::config::{BreakerConfig, OverloadConfig};
+
+    fn overload_cfg(cap: usize, policy: ShedPolicy) -> OverloadConfig {
+        OverloadConfig {
+            waitlist_cap: cap,
+            shed_policy: policy,
+            deadline_cycles: None,
+            breaker: None,
+        }
+    }
+
+    #[test]
+    fn reject_newest_sheds_at_the_cap_without_allocating() {
+        let cfg = strict_cfg().with_overload(overload_cfg(1, ShedPolicy::RejectNewest));
+        let mut e = ext_cfg(cfg);
+        let _hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        assert!(matches!(
+            begin(&mut e, 1, 0, demand(10.0), t(1)),
+            BeginOutcome::Pause { shed: None, .. }
+        ));
+        let allocated_before = e.snapshot().allocated;
+        assert_eq!(
+            e.pp_begin(ProcessId(2), SiteId(0), demand(10.0), t(2)),
+            Err(RdaError::WaitlistFull {
+                resource: Resource::Llc
+            })
+        );
+        assert_eq!(e.stats().shed, 1);
+        assert_eq!(e.waitlist_len(Resource::Llc), 1, "queue stays at the cap");
+        assert_eq!(
+            e.snapshot().allocated,
+            allocated_before,
+            "tail drop allocates no id"
+        );
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reject_oldest_evicts_the_longest_queued_waiter() {
+        let cfg = strict_cfg().with_overload(overload_cfg(1, ShedPolicy::RejectOldest));
+        let mut e = ext_cfg(cfg);
+        let hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let victim = match begin(&mut e, 1, 0, demand(10.0), t(1)) {
+            BeginOutcome::Pause { pp, shed: None } => pp,
+            other => panic!("{other:?}"),
+        };
+        let fresh = match begin(&mut e, 2, 0, demand(10.0), t(2)) {
+            BeginOutcome::Pause { pp, shed } => {
+                assert_eq!(shed, Some(victim), "head drop reports the victim");
+                pp
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(e.stats().shed, 1);
+        assert_eq!(e.waitlist_len(Resource::Llc), 1);
+        // The victim's period is gone for good; its end is a DoubleEnd.
+        assert_eq!(e.pp_end(victim, t(3)), Err(RdaError::DoubleEnd(victim)));
+        e.check_invariants().unwrap();
+        // The fresh arrival is the one resumed when capacity frees.
+        let out = e.pp_end(hog, t(4)).unwrap();
+        assert_eq!(out.resumed, vec![(fresh, ProcessId(2))]);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degrade_to_overflow_admits_into_the_degraded_bucket() {
+        let cfg = strict_cfg().with_overload(overload_cfg(0, ShedPolicy::DegradeToOverflow));
+        let mut e = ext_cfg(cfg);
+        let _hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let pp = match begin(&mut e, 1, 0, demand(10.0), t(1)) {
+            BeginOutcome::Run { pp, fast } => {
+                assert!(!fast);
+                pp
+            }
+            other => panic!("expected degraded Run, got {other:?}"),
+        };
+        assert_eq!(e.overflow_usage(Resource::Llc), mb(10.0));
+        assert_eq!(e.usage(Resource::Llc), mb(14.0), "nominal books untouched");
+        assert_eq!(e.stats().shed, 1);
+        assert_eq!(e.stats().admitted, 1, "only the hog counts as admitted");
+        e.check_invariants().unwrap();
+        e.pp_end(pp, t(2)).unwrap();
+        assert_eq!(e.overflow_usage(Resource::Llc), 0);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deadlines_expire_starved_waiters_on_age_ticks() {
+        let mut ov = overload_cfg(64, ShedPolicy::RejectNewest);
+        ov.deadline_cycles = Some(1_000);
+        let cfg = strict_cfg().with_overload(ov);
+        let mut e = ext_cfg(cfg);
+        let _hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        let starved = match begin(&mut e, 1, 0, demand(10.0), t(10)) {
+            BeginOutcome::Pause { pp, .. } => pp,
+            other => panic!("{other:?}"),
+        };
+        // Inside the deadline nothing expires.
+        assert_eq!(e.age_waitlist(t(500)), AgeOutcome::default());
+        // Past it, the waiter is expired — completed, not admitted.
+        let out = e.age_waitlist(t(1_020));
+        assert_eq!(out.expired, vec![(starved, ProcessId(1))]);
+        assert!(out.resumed.is_empty());
+        assert_eq!(e.stats().expired, 1);
+        assert_eq!(e.waitlist_len(Resource::Llc), 0);
+        assert_eq!(e.usage(Resource::Llc), mb(14.0));
+        assert_eq!(e.overflow_usage(Resource::Llc), 0);
+        // Its id is burned: a late end is the usual DoubleEnd.
+        assert_eq!(e.pp_end(starved, t(1_100)), Err(RdaError::DoubleEnd(starved)));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expiring_a_blocking_head_admits_fitting_waiters_behind_it() {
+        let mut ov = overload_cfg(64, ShedPolicy::RejectNewest);
+        ov.deadline_cycles = Some(1_000);
+        let cfg = strict_cfg().with_overload(ov);
+        let mut e = ext_cfg(cfg);
+        let _hog_a = must_run(&mut e, 0, 0, demand(10.0), t(0));
+        let hog_b = must_run(&mut e, 1, 0, demand(4.0), t(1));
+        // Usage 14/15: both arrivals park, FIFO head first.
+        let head = match begin(&mut e, 2, 0, demand(10.0), t(10)) {
+            BeginOutcome::Pause { pp, .. } => pp,
+            other => panic!("{other:?}"),
+        };
+        let small = match begin(&mut e, 3, 0, demand(4.0), t(20)) {
+            BeginOutcome::Pause { pp, .. } => pp,
+            other => panic!("{other:?}"),
+        };
+        // Freeing 4 MB is not enough for the 10 MB head, so the drain
+        // stalls on it and the fitting 4 MB entry stays queued behind.
+        assert!(e.pp_end(hog_b, t(100)).unwrap().resumed.is_empty());
+        assert_eq!(e.waitlist_len(Resource::Llc), 2);
+        // Expiring the blocking head (enqueued t=10, deadline 1000)
+        // lets the entry behind it (t=20, not yet expired) through.
+        let out = e.age_waitlist(t(1_015));
+        assert_eq!(out.expired, vec![(head, ProcessId(2))]);
+        assert_eq!(out.resumed, vec![(small, ProcessId(3))]);
+        assert_eq!(e.usage(Resource::Llc), mb(14.0));
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn breaker_trips_with_hysteresis_and_sheds_the_demand_class() {
+        let mut ov = overload_cfg(64, ShedPolicy::RejectNewest);
+        ov.breaker = Some(BreakerConfig {
+            high_water: mb(12.0),
+            low_water: mb(6.0),
+            trip_after: 2,
+            recover_after: 2,
+            shed_min_demand: mb(5.0),
+        });
+        let cfg = strict_cfg().with_overload(ov);
+        let mut e = ext_cfg(cfg);
+        let hog = must_run(&mut e, 0, 0, demand(14.0), t(0));
+        // One tick above high water is not enough to trip.
+        e.age_waitlist(t(100));
+        assert!(!e.breaker_is_open(Resource::Llc));
+        e.age_waitlist(t(200));
+        assert!(e.breaker_is_open(Resource::Llc), "trips on the 2nd tick");
+        assert_eq!(e.stats().breaker_trips, 1);
+        // The expensive class is shed; small requests still pass.
+        assert_eq!(
+            e.pp_begin(ProcessId(1), SiteId(0), demand(6.0), t(210)),
+            Err(RdaError::BreakerOpen {
+                resource: Resource::Llc
+            })
+        );
+        assert_eq!(e.stats().shed, 1);
+        let small = must_run(&mut e, 2, 1, demand(0.5), t(220));
+        // Capacity drains; recovery needs two consecutive low ticks.
+        e.pp_end(hog, t(300)).unwrap();
+        e.pp_end(small, t(301)).unwrap();
+        e.age_waitlist(t(400));
+        assert!(e.breaker_is_open(Resource::Llc), "one low tick is not enough");
+        assert_eq!(
+            e.pp_begin(ProcessId(3), SiteId(0), demand(6.0), t(410)),
+            Err(RdaError::BreakerOpen {
+                resource: Resource::Llc
+            })
+        );
+        e.age_waitlist(t(500));
+        assert!(!e.breaker_is_open(Resource::Llc), "resets after hysteresis");
+        let _ = must_run(&mut e, 4, 0, demand(6.0), t(510));
+        assert_eq!(e.stats().breaker_trips, 1, "no re-trip while drained");
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn note_retry_counts_and_traces() {
+        let cfg = strict_cfg().with_overload(overload_cfg(0, ShedPolicy::RejectNewest));
+        let mut e = ext_cfg(cfg);
+        e.install_trace(TraceSink::new(rda_trace::TraceConfig::default()));
+        e.note_retry(ProcessId(7), SiteId(3), Resource::Llc, t(42));
+        assert_eq!(e.stats().retried, 1);
+        let sink = e.take_trace().unwrap();
+        let report = sink.into_report();
+        assert_eq!(report.counts.retried, 1);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].kind, EventKind::Retry);
+        assert_eq!(report.events[0].process, 7);
     }
 }

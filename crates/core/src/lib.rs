@@ -48,9 +48,9 @@ pub mod snapshot;
 pub mod waitlist;
 
 pub use api::{mb, PpDemand, PpId, Resource, SiteId};
-pub use config::{DemandAudit, RdaConfig};
+pub use config::{BreakerConfig, DemandAudit, OverloadConfig, RdaConfig, ShedPolicy};
 pub use error::{InvariantKind, RdaError};
-pub use extension::{BeginOutcome, EndOutcome, RdaExtension, RdaStats};
+pub use extension::{AgeOutcome, BeginOutcome, EndOutcome, RdaExtension, RdaStats};
 pub use policy::PolicyKind;
 pub use predicate::Decision;
 pub use snapshot::{PpSnap, Snapshot, WaitSnap};

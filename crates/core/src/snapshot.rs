@@ -120,6 +120,10 @@ impl Snapshot {
             s.clamped,
             s.aged_admissions,
             s.rejected_ends,
+            s.shed,
+            s.expired,
+            s.retried,
+            s.breaker_trips,
             // `s.desyncs` is deliberately excluded: it was added after
             // the golden digests were pinned and is zero in any healthy
             // run, so hashing it would invalidate every pinned digest

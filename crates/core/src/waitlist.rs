@@ -455,6 +455,67 @@ mod tests {
     }
 
     #[test]
+    fn promotion_boundary_is_pinned_at_exactly_inline_cap() {
+        let mut w = Waitlist::new();
+        for i in 0..INLINE_CAP as u64 {
+            w.push(Resource::Llc, e_at(i, 10, 100 + i)).unwrap();
+        }
+        // Exactly 16 entries still live in the inline buffer.
+        assert_eq!(w.len(Resource::Llc), INLINE_CAP);
+        assert!(
+            matches!(w.llc.fifo, Fifo::Inline { len: 16, .. }),
+            "16 entries stay inline"
+        );
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(100)));
+        // The 17th promotes the queue to the heap — with an
+        // older-than-minimum stamp, so the cached min must follow it
+        // across the promotion.
+        w.push(Resource::Llc, e_at(16, 10, 50)).unwrap();
+        assert!(matches!(w.llc.fifo, Fifo::Heap(_)), "17th entry promotes");
+        assert_eq!(w.len(Resource::Llc), INLINE_CAP + 1);
+        let order: Vec<u64> = w.iter(Resource::Llc).map(|x| x.pp.0).collect();
+        assert_eq!(order, (0..17).collect::<Vec<_>>(), "promotion keeps order");
+        assert_eq!(
+            w.oldest(Resource::Llc),
+            Some(SimTime::from_cycles(50)),
+            "cached minimum survives promotion"
+        );
+    }
+
+    #[test]
+    fn drained_back_below_the_boundary_the_queue_stays_promoted() {
+        let mut w = Waitlist::new();
+        for i in 0..=INLINE_CAP as u64 {
+            w.push(Resource::Llc, e_at(i, 10, 100 + i)).unwrap();
+        }
+        assert!(matches!(w.llc.fifo, Fifo::Heap(_)));
+        // Drain well below the inline capacity: spilled queues never
+        // demote (one spill predicts another), and the cached minimum
+        // rescans correctly as each minimal entry leaves.
+        for i in 0..10u64 {
+            assert_eq!(w.pop(Resource::Llc).unwrap().pp, PpId(i));
+            assert_eq!(
+                w.oldest(Resource::Llc),
+                Some(SimTime::from_cycles(100 + i + 1))
+            );
+        }
+        assert_eq!(w.len(Resource::Llc), INLINE_CAP + 1 - 10);
+        assert!(
+            matches!(w.llc.fifo, Fifo::Heap(_)),
+            "spilled queues never demote"
+        );
+        // Duplicate detection and FIFO order still hold after the
+        // round trip across the boundary.
+        assert!(w.push(Resource::Llc, e_at(12, 1, 0)).is_err());
+        for i in 17..30u64 {
+            w.push(Resource::Llc, e_at(i, 10, 100 + i)).unwrap();
+        }
+        let order: Vec<u64> = w.iter(Resource::Llc).map(|x| x.pp.0).collect();
+        assert_eq!(order, (10..30).collect::<Vec<_>>());
+        assert_eq!(w.oldest(Resource::Llc), Some(SimTime::from_cycles(110)));
+    }
+
+    #[test]
     fn queue_spills_past_the_inline_capacity_and_keeps_order() {
         let mut w = Waitlist::new();
         let n = (INLINE_CAP + 9) as u64;

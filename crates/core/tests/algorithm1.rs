@@ -69,7 +69,7 @@ fn drive(
                     .expect("default Trust audit never rejects");
                 match out {
                     BeginOutcome::Run { pp, .. } => admitted.push(pp),
-                    BeginOutcome::Pause { pp } => waiting.push((pp, amount)),
+                    BeginOutcome::Pause { pp, .. } => waiting.push((pp, amount)),
                     BeginOutcome::Bypass => unreachable!("gating policies only"),
                 }
             }

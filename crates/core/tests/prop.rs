@@ -189,3 +189,99 @@ proptest! {
         prop_assert_eq!(decisions(with_fast), decisions(without_fast));
     }
 }
+
+#[derive(Debug, Clone)]
+enum WlOp {
+    Push(u16),
+    Pop,
+    Cancel(u8),
+    PopExpired(u16),
+}
+
+fn arb_wl_op() -> impl Strategy<Value = WlOp> {
+    prop_oneof![
+        4 => (0u16..1_000).prop_map(WlOp::Push),
+        1 => Just(WlOp::Pop),
+        1 => (0u8..40).prop_map(WlOp::Cancel),
+        1 => (0u16..1_000).prop_map(WlOp::PopExpired),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The waitlist agrees with a naive Vec model through arbitrary
+    /// push/pop/cancel/expiry sequences whose lengths cross the
+    /// inline-buffer promotion boundary (16 → 17 → back below 16) in
+    /// both directions: FIFO order, expiry selection, and the cached
+    /// minimum enqueue time all stay exact.
+    #[test]
+    fn waitlist_matches_model_across_the_promotion_boundary(
+        ops in prop::collection::vec(arb_wl_op(), 1..120)
+    ) {
+        use rda_core::waitlist::{WaitEntry, Waitlist};
+        let mut w = Waitlist::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (pp, stamp), queue order
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                WlOp::Push(stamp) => {
+                    let stamp = stamp as u64;
+                    w.push(
+                        Resource::Llc,
+                        WaitEntry {
+                            pp: PpId(next),
+                            accounted: 1,
+                            enqueued_at: SimTime::from_cycles(stamp),
+                        },
+                    )
+                    .expect("fresh ids never collide");
+                    model.push((next, stamp));
+                    next += 1;
+                }
+                WlOp::Pop => {
+                    let got = w.pop(Resource::Llc).map(|e| e.pp.0);
+                    let want = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0).0)
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                WlOp::Cancel(i) => {
+                    if model.is_empty() {
+                        prop_assert!(!w.cancel(Resource::Llc, PpId(next)));
+                    } else {
+                        let i = i as usize % model.len();
+                        let (pp, _) = model.remove(i);
+                        prop_assert!(w.cancel(Resource::Llc, PpId(pp)));
+                    }
+                }
+                WlOp::PopExpired(timeout) => {
+                    // `now` dominates every stamp, so expiry is purely
+                    // a wait-length question.
+                    let now = 2_000u64;
+                    let timeout = timeout as u64;
+                    let got = w
+                        .pop_expired(Resource::Llc, SimTime::from_cycles(now), timeout)
+                        .map(|e| e.pp.0);
+                    // Model: the first entry holding the minimal stamp,
+                    // if it has waited long enough.
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(_, s))| s)
+                        .filter(|&(_, &(_, s))| now - s >= timeout)
+                        .map(|(i, _)| i)
+                        .map(|i| model.remove(i).0);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            let order: Vec<u64> = w.iter(Resource::Llc).map(|e| e.pp.0).collect();
+            let expect: Vec<u64> = model.iter().map(|&(pp, _)| pp).collect();
+            prop_assert_eq!(order, expect, "queue order diverged from model");
+            let oldest = w.oldest(Resource::Llc).map(|t| t.cycles());
+            prop_assert_eq!(oldest, model.iter().map(|&(_, s)| s).min());
+        }
+    }
+}

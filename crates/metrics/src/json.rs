@@ -127,21 +127,55 @@ impl Json {
     }
 
     /// Parse a JSON document. Returns a message with the byte offset on
-    /// malformed input.
+    /// malformed input (the rendering of [`JsonError`]; use
+    /// [`Json::parse_checked`] to branch on the offset itself).
     pub fn parse(text: &str) -> Result<Json, String> {
+        Json::parse_checked(text).map_err(|e| e.to_string())
+    }
+
+    /// Parse a JSON document, reporting malformed input as a typed
+    /// [`JsonError`] carrying the byte offset. Nesting deeper than
+    /// [`MAX_DEPTH`] levels is rejected (offset at the opening
+    /// bracket), so adversarial input cannot overflow the parser's
+    /// recursion stack.
+    pub fn parse_checked(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+            return Err(p.err("trailing data"));
         }
         Ok(v)
     }
 }
+
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so unbounded `[[[[…` input would otherwise turn
+/// into unbounded stack growth; 128 levels is far beyond anything the
+/// experiment bundles emit while keeping worst-case stack use trivial.
+pub const MAX_DEPTH: usize = 128;
+
+/// A malformed JSON document: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// What the parser expected or found (without the offset).
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -204,9 +238,28 @@ impl fmt::Display for Escaped<'_> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// Enter one container level, refusing input nested past
+    /// [`MAX_DEPTH`] (called with `pos` still at the opening bracket,
+    /// so the error points at it).
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -221,28 +274,25 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(self.err(format!("expected '{}'", b as char)))
         }
     }
 
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err("invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -251,17 +301,17 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(self.err("unexpected input")),
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
             let Some(&b) = rest.first() else {
-                return Err("unterminated string".into());
+                return Err(self.err("unterminated string"));
             };
             match b {
                 b'"' => {
@@ -269,7 +319,9 @@ impl Parser<'_> {
                     return Ok(out);
                 }
                 b'\\' => {
-                    let esc = rest.get(1).copied().ok_or("dangling escape")?;
+                    let Some(esc) = rest.get(1).copied() else {
+                        return Err(self.err("dangling escape"));
+                    };
                     self.pos += 2;
                     match esc {
                         b'"' => out.push('"'),
@@ -281,26 +333,24 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
+                            let Some(hex) = self.bytes.get(self.pos..self.pos + 4) else {
+                                return Err(self.err("truncated \\u escape"));
+                            };
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
                             self.pos += 4;
                             // Surrogate pairs are not produced by our
                             // writer; map lone surrogates to U+FFFD.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(self.err("bad escape")),
                     }
                 }
                 _ => {
                     // Consume one UTF-8 scalar.
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -325,18 +375,18 @@ impl Parser<'_> {
     /// scanner greedily consumed any of `-+.eE` anywhere, so malformed
     /// tokens like `1-2` were swallowed whole and misreported as one
     /// bad number instead of being rejected at the offending byte.
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
         if self.digit_run() == 0 {
-            return Err(format!("expected digit at byte {}", self.pos));
+            return Err(self.err("expected digit"));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
             if self.digit_run() == 0 {
-                return Err(format!("expected digit at byte {}", self.pos));
+                return Err(self.err("expected digit"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -345,21 +395,24 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             if self.digit_run() == 0 {
-                return Err(format!("expected digit at byte {}", self.pos));
+                return Err(self.err("expected digit"));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("bad number '{text}'"),
+        })
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -370,19 +423,22 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -395,12 +451,13 @@ impl Parser<'_> {
             map.insert(key, val);
             self.skip_ws();
             match self.peek() {
-                Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                Some(b',') => self.pos += 1,
+                _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
@@ -515,6 +572,52 @@ mod tests {
             assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{x:e}");
             checked += 1;
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_a_stack_overflow() {
+        // At the limit: parses fine, both containers.
+        let arrays = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&arrays).is_ok());
+        let objects = format!(
+            "{}0{}",
+            "{\"k\":".repeat(MAX_DEPTH),
+            "}".repeat(MAX_DEPTH)
+        );
+        assert!(Json::parse(&objects).is_ok());
+
+        // One past the limit: typed error pointing at the offending
+        // opening bracket.
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Json::parse_checked(&too_deep).expect_err("must reject");
+        assert_eq!(err.offset, MAX_DEPTH, "offset of the 129th '['");
+        assert_eq!(err.message, format!("nesting deeper than {MAX_DEPTH} levels"));
+        assert_eq!(
+            err.to_string(),
+            format!("nesting deeper than {MAX_DEPTH} levels at byte {MAX_DEPTH}")
+        );
+
+        // Adversarial megabyte of open brackets: rejected at the depth
+        // guard, never a megabyte of recursion.
+        let bomb = "[".repeat(1_000_000);
+        let err = Json::parse_checked(&bomb).expect_err("must reject");
+        assert_eq!(err.offset, MAX_DEPTH);
+        // Mixed nesting counts both container kinds: 65 of each is 130
+        // levels, past the limit.
+        let mixed = "[{\"a\":".repeat(65) + "0";
+        let err = Json::parse_checked(&mixed).expect_err("must reject");
+        assert_eq!(err.message, format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+
+    #[test]
+    fn parse_checked_reports_offsets_typed() {
+        let err = Json::parse_checked("[1, 2e+]").expect_err("bad number");
+        assert_eq!((err.offset, err.message.as_str()), (7, "expected digit"));
+        // The legacy string API renders the same error.
+        assert_eq!(Json::parse("[1, 2e+]").unwrap_err(), err.to_string());
+        // Errors are std::error::Error, so they compose with `?`.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("at byte 7"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod table;
 
 pub use counters::PerfCounters;
 pub use energy::EnergyBreakdown;
-pub use json::Json;
+pub use json::{Json, JsonError, MAX_DEPTH};
 pub use series::{DataSeries, FigureData};
 pub use summary::Measurement;
 pub use table::TextTable;

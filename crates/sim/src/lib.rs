@@ -28,6 +28,7 @@ pub mod faults;
 pub mod overhead;
 pub mod runner;
 pub mod system;
+pub mod traffic;
 
 pub use config::SimConfig;
 pub use faults::{FaultConfig, FaultPlan, PhaseFault};
@@ -37,3 +38,6 @@ pub use runner::{
     SweepGrid, SweepResult,
 };
 pub use system::SystemSim;
+pub use traffic::{
+    ArrivalPattern, TrafficConfig, TrafficPlan, TrafficResult, TrafficSim, TRAFFIC_STREAM,
+};

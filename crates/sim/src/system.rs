@@ -82,6 +82,18 @@ pub enum RdaCall {
         /// Call time.
         now: SimTime,
     },
+    /// A `note_retry` call: the client retried a shed or expired
+    /// arrival (recorded by the open-system traffic engine).
+    Retry {
+        /// Call time.
+        now: SimTime,
+        /// The retrying process.
+        process: ProcessId,
+        /// Static call site of the retried demand.
+        site: rda_core::SiteId,
+        /// The resource the retried demand targets.
+        resource: rda_core::Resource,
+    },
 }
 
 /// One periodic observation of system state.
@@ -158,6 +170,10 @@ impl RunResult {
             self.rda.clamped,
             self.rda.aged_admissions,
             self.rda.rejected_ends,
+            self.rda.shed,
+            self.rda.expired,
+            self.rda.retried,
+            self.rda.breaker_trips,
         ] {
             h.write_u64(v);
         }
@@ -435,7 +451,7 @@ impl SystemSim {
                         self.threads[t0].overhead += self.call_cost(fast);
                         self.wake_proc(p);
                     }
-                    Ok(BeginOutcome::Pause { pp }) => {
+                    Ok(BeginOutcome::Pause { pp, .. }) => {
                         // The process pauses on the kernel wait queue
                         // until a completing period releases capacity
                         // (§3.1). Its whole thread group stays blocked
@@ -599,13 +615,16 @@ impl SystemSim {
         if self.cfg.waitlist_timeout.is_none() {
             return;
         }
-        let resumed = self.rda.age_waitlist(self.now);
-        if !resumed.is_empty() {
+        let out = self.rda.age_waitlist(self.now);
+        // SystemSim never configures overload deadlines, so nothing can
+        // expire here; the traffic engine owns that path.
+        debug_assert!(out.expired.is_empty(), "deadline expiry without overload");
+        if !out.resumed.is_empty() {
             // No-op ticks are state-neutral, so only ticks that
             // admitted something need replaying.
             self.record(RdaCall::Age { now: self.now });
         }
-        for (_pp, pid) in resumed {
+        for (_pp, pid) in out.resumed {
             self.wake_proc(pid.0 as usize);
         }
     }

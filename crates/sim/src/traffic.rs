@@ -1,0 +1,948 @@
+//! Deterministic open-system traffic engine.
+//!
+//! The paper's experiments are *closed*: a fixed set of processes runs
+//! to completion. Real services are *open*: requests arrive on their
+//! own clock, each one a short-lived process that begins a progress
+//! period, does its work, and exits — and when arrivals outpace
+//! capacity the scheduler must shed load rather than queue without
+//! bound. This module generates that arrival stream and drives the RDA
+//! extension's overload controls (`rda_core::OverloadConfig`) with it:
+//!
+//! * [`TrafficPlan::generate`] pre-expands a Poisson or diurnal
+//!   [`ArrivalPattern`] into a concrete request schedule from a
+//!   dedicated, salted RNG stream ([`TRAFFIC_STREAM`]). Every candidate
+//!   arrival consumes a **fixed number of variates** (arrival gap,
+//!   thinning accept, demand class, service time, and one backoff
+//!   jitter per allowed attempt), so the stream position is a pure
+//!   function of the configuration — the plan, and therefore the whole
+//!   run, is bit-identical regardless of threading or call order,
+//!   exactly like [`crate::faults::FaultPlan`].
+//! * [`TrafficSim::run`] replays the plan through a discrete-event
+//!   loop: admitted requests complete after their service time, paused
+//!   ones wait (bounded by the overload gate), shed or breaker-rejected
+//!   ones retry with exponential backoff and pre-drawn jitter, expired
+//!   ones fail their deadline permanently. Fault injection composes:
+//!   a [`crate::faults::FaultConfig`] is expanded over a synthetic
+//!   one-phase-per-request workload, so requests can lie about demand,
+//!   leak or double their `pp_end`, or die holding periods — chaos
+//!   *under* overload, which is where control planes actually break.
+//! * [`TrafficResult`] carries goodput, a log-2 sojourn histogram
+//!   (p50/p95/p99 end-to-end latency including queueing and retries),
+//!   every [`rda_core::RdaStats`] counter, and an FNV digest for
+//!   cross-thread-count equality checks. With
+//!   [`TrafficConfig::record_calls`] set, the exact call sequence is
+//!   retained for differential replay against the `rda-check`
+//!   reference model.
+//!
+//! The engine cannot hang: with deadlines or aging configured every
+//! waiter eventually expires or is force-admitted, and without them
+//! any waiter that can never be unstuck (capacity held by leaked
+//! periods, no completions outstanding) is deterministically stranded
+//! via `process_exit` once the event heap drains.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::faults::{FaultConfig, FaultPlan};
+use crate::system::RdaCall;
+use rda_core::{mb, BeginOutcome, PpDemand, RdaConfig, RdaError, RdaExtension, RdaStats, SiteId};
+use rda_machine::ReuseLevel;
+use rda_sched::ProcessId;
+use rda_simcore::{Fnv1a64, SimTime, SplitMix64};
+use rda_trace::Log2Hist;
+use rda_workloads::{Phase, ProcessProgram, WorkloadSpec};
+
+/// Stream salt separating the traffic RNG from the timeslice-jitter
+/// and fault-plan streams derived from the same root seed.
+pub const TRAFFIC_STREAM: u64 = 0x7AF1_C000_0000_0001;
+
+/// Shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrivals per simulated second.
+        rate_per_sec: f64,
+    },
+    /// A day/night load curve: the rate swings sinusoidally between
+    /// `base` and `peak` with the given period, realised by thinning a
+    /// Poisson process at the peak rate (each candidate keeps its
+    /// accept variate, so the stream stays position-stable).
+    Diurnal {
+        /// Trough arrival rate, per simulated second.
+        base_per_sec: f64,
+        /// Peak arrival rate, per simulated second.
+        peak_per_sec: f64,
+        /// Full period of the swing, simulated seconds.
+        period_secs: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The envelope rate candidates are drawn at.
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalPattern::Diurnal { peak_per_sec, .. } => peak_per_sec,
+        }
+    }
+
+    /// Instantaneous rate at `t_secs`.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalPattern::Diurnal {
+                base_per_sec,
+                peak_per_sec,
+                period_secs,
+            } => {
+                let phase = (std::f64::consts::TAU * t_secs / period_secs).cos();
+                base_per_sec + (peak_per_sec - base_per_sec) * 0.5 * (1.0 - phase)
+            }
+        }
+    }
+}
+
+/// Everything the traffic engine needs besides the scheduler
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// The arrival process.
+    pub pattern: ArrivalPattern,
+    /// Length of the arrival window, simulated seconds (requests still
+    /// in flight at the end are drained to completion).
+    pub duration_secs: f64,
+    /// Simulated clock frequency (cycles per second).
+    pub cycles_per_sec: f64,
+    /// Demand classes as `(working-set bytes, relative weight)`; the
+    /// class index doubles as the request's static call site.
+    pub demand_classes: Vec<(u64, f64)>,
+    /// Mean of the exponential service-time distribution, cycles.
+    pub mean_service_cycles: f64,
+    /// Total tries per request (first attempt plus retries) before a
+    /// shed request fails permanently.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff: retry `k` waits
+    /// `base · 2^k` plus a pre-drawn jitter below `base`.
+    pub backoff_base_cycles: u64,
+    /// Period of the aging/deadline/breaker tick (`0` disables ticks;
+    /// only sensible when no overload control is configured).
+    pub age_tick_cycles: u64,
+    /// Retain the exact [`RdaCall`] sequence for differential replay.
+    pub record_calls: bool,
+}
+
+impl TrafficConfig {
+    /// A web-service-shaped default: mostly small requests with a
+    /// heavy tail, ~2 ms mean service time at 1.9 GHz, three attempts
+    /// with ~1 ms backoff, and a 0.5 ms control tick.
+    pub fn web_default(rate_per_sec: f64, duration_secs: f64) -> Self {
+        TrafficConfig {
+            pattern: ArrivalPattern::Poisson { rate_per_sec },
+            duration_secs,
+            cycles_per_sec: 1.9e9,
+            demand_classes: vec![(mb(0.25), 0.70), (mb(2.0), 0.25), (mb(8.0), 0.05)],
+            mean_service_cycles: 3.8e6,
+            max_attempts: 3,
+            backoff_base_cycles: 1_900_000,
+            age_tick_cycles: 950_000,
+            record_calls: false,
+        }
+    }
+}
+
+/// One pre-drawn request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Arrival time, cycles from run start.
+    pub arrival: u64,
+    /// Demand-class index, doubling as the static call site.
+    pub site: u32,
+    /// Honest working-set demand, bytes.
+    pub demand: u64,
+    /// Service time once admitted, cycles.
+    pub service: u64,
+    /// Pre-drawn backoff jitter per attempt (length
+    /// [`TrafficConfig::max_attempts`]).
+    pub jitter: Vec<u64>,
+}
+
+/// A fully expanded, deterministic arrival schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrafficPlan {
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl TrafficPlan {
+    /// Expand `cfg` into a concrete schedule, deterministic in
+    /// `(seed, cfg)`. Candidates are drawn at the pattern's peak rate
+    /// and thinned to the instantaneous rate; every candidate —
+    /// accepted or not — consumes the same number of variates.
+    pub fn generate(cfg: &TrafficConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(SplitMix64::derive_stream(seed, TRAFFIC_STREAM));
+        let peak = cfg.pattern.peak_rate();
+        assert!(peak > 0.0 && peak.is_finite(), "arrival rate must be positive");
+        assert!(!cfg.demand_classes.is_empty(), "need at least one demand class");
+        let total_weight: f64 = cfg.demand_classes.iter().map(|&(_, w)| w).sum();
+        let jitter_bound = cfg.backoff_base_cycles.max(1);
+        let mut requests = Vec::new();
+        let mut t_secs = 0.0_f64;
+        loop {
+            // Fixed draw count per candidate: gap, accept, class,
+            // service, then one jitter per allowed attempt.
+            let gap_u = rng.next_f64();
+            let accept_u = rng.next_f64();
+            let class_u = rng.next_f64();
+            let service_u = rng.next_f64();
+            let jitter: Vec<u64> = (0..cfg.max_attempts)
+                .map(|_| rng.next_below(jitter_bound))
+                .collect();
+            t_secs += -(1.0 - gap_u).ln() / peak;
+            if t_secs >= cfg.duration_secs {
+                break;
+            }
+            if accept_u * peak > cfg.pattern.rate_at(t_secs) {
+                continue; // thinned out of the diurnal trough
+            }
+            let mut pick = class_u * total_weight;
+            let mut site = cfg.demand_classes.len() - 1;
+            for (i, &(_, w)) in cfg.demand_classes.iter().enumerate() {
+                if pick < w {
+                    site = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let service = (-(1.0 - service_u).ln() * cfg.mean_service_cycles).ceil() as u64;
+            requests.push(Request {
+                arrival: (t_secs * cfg.cycles_per_sec) as u64,
+                site: site as u32,
+                demand: cfg.demand_classes[site].0,
+                service: service.max(1),
+                jitter,
+            });
+        }
+        TrafficPlan { requests }
+    }
+
+    /// Number of scheduled requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The synthetic one-phase-per-request workload faults are drawn
+    /// over, so [`FaultPlan::generate`] composes with open traffic the
+    /// same way it does with closed workloads.
+    pub fn fault_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "traffic".into(),
+            processes: self
+                .requests
+                .iter()
+                .map(|r| ProcessProgram {
+                    threads: 1,
+                    phases: vec![Phase::tracked(
+                        "req",
+                        r.service,
+                        r.demand,
+                        ReuseLevel::High,
+                        SiteId(r.site),
+                    )],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Outcome of one traffic run.
+#[derive(Debug, Clone)]
+pub struct TrafficResult {
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests that finished their service (goodput numerator);
+    /// includes degraded-overflow admissions and leaked-end work.
+    pub completed: u64,
+    /// Requests shed past their retry budget or refused by the demand
+    /// auditor.
+    pub failed: u64,
+    /// Requests expired past their deadline while waitlisted.
+    pub expired: u64,
+    /// Requests whose process was fault-killed holding a period.
+    pub killed: u64,
+    /// Waiters that could never be unstuck (capacity leaked away with
+    /// no deadline or aging configured) and were deterministically
+    /// reclaimed via `process_exit`.
+    pub stranded: u64,
+    /// Client-side retries issued.
+    pub retries: u64,
+    /// Final extension counters.
+    pub rda: RdaStats,
+    /// End-to-end sojourn (arrival to completion, cycles) of every
+    /// completed request — queueing, backoff, and service included.
+    pub sojourn: Log2Hist,
+    /// Completed requests per simulated second of the arrival window.
+    pub goodput_per_sec: f64,
+    /// Exact call sequence (`Some` iff [`TrafficConfig::record_calls`]).
+    pub calls: Option<Vec<RdaCall>>,
+}
+
+impl TrafficResult {
+    /// Median sojourn, cycles.
+    pub fn p50(&self) -> u64 {
+        self.sojourn.quantile(0.50)
+    }
+
+    /// 95th-percentile sojourn, cycles.
+    pub fn p95(&self) -> u64 {
+        self.sojourn.quantile(0.95)
+    }
+
+    /// 99th-percentile sojourn, cycles.
+    pub fn p99(&self) -> u64 {
+        self.sojourn.quantile(0.99)
+    }
+
+    /// Order-independent FNV digest of everything the run decided:
+    /// request accounting, every extension counter, and the full
+    /// sojourn distribution. Two runs of the same configuration must
+    /// produce the same digest on any thread count.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        for v in [
+            self.arrivals,
+            self.completed,
+            self.failed,
+            self.expired,
+            self.killed,
+            self.stranded,
+            self.retries,
+        ] {
+            h.write_u64(v);
+        }
+        for v in [
+            self.rda.begins,
+            self.rda.ends,
+            self.rda.admitted,
+            self.rda.paused,
+            self.rda.resumed,
+            self.rda.max_waitlist,
+            self.rda.oversized_admits,
+            self.rda.reclaimed,
+            self.rda.clamped,
+            self.rda.aged_admissions,
+            self.rda.rejected_ends,
+            self.rda.shed,
+            self.rda.expired,
+            self.rda.retried,
+            self.rda.breaker_trips,
+        ] {
+            h.write_u64(v);
+        }
+        for (upper, n) in self.sojourn.nonzero_buckets() {
+            h.write_u64(upper);
+            h.write_u64(n);
+        }
+        h.write_u64(self.sojourn.max());
+        h.finish()
+    }
+}
+
+/// The open-system traffic simulation: an arrival plan driven through
+/// one [`RdaExtension`].
+#[derive(Debug, Clone)]
+pub struct TrafficSim {
+    traffic: TrafficConfig,
+    rda: RdaConfig,
+    faults: Option<FaultConfig>,
+}
+
+/// Heap entry: strict `(time, sequence)` order makes pops — and
+/// therefore the whole run — deterministic even among simultaneous
+/// events.
+#[derive(Debug)]
+struct QEntry {
+    t: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// First attempt of a request.
+    Arrival { req: usize },
+    /// A backed-off re-attempt.
+    Retry { req: usize },
+    /// An admitted request finishing its service (`pp` is `None` for
+    /// untracked fallbacks, e.g. auditor-refused demands).
+    Complete { req: usize, pp: Option<rda_core::PpId> },
+    /// The aging/deadline/breaker control tick.
+    Tick,
+}
+
+struct Engine<'a> {
+    cfg: &'a TrafficConfig,
+    plan: &'a TrafficPlan,
+    faults: FaultPlan,
+    ext: RdaExtension,
+    heap: BinaryHeap<QEntry>,
+    /// Waitlisted requests by period id; a `BTreeMap` so stranding
+    /// order is deterministic.
+    waiting: BTreeMap<u64, usize>,
+    /// Current attempt index per request.
+    attempts: Vec<u32>,
+    /// Non-tick events still in the heap (ticks self-cancel when this
+    /// hits zero and nothing waits).
+    pending: usize,
+    seq: u64,
+    now: SimTime,
+    completed: u64,
+    failed: u64,
+    expired: u64,
+    killed: u64,
+    stranded: u64,
+    retries: u64,
+    sojourn: Log2Hist,
+    calls: Option<Vec<RdaCall>>,
+}
+
+impl TrafficSim {
+    /// A traffic run over the given arrival shape and scheduler
+    /// configuration (put overload control in
+    /// [`RdaConfig::with_overload`]).
+    pub fn new(traffic: TrafficConfig, rda: RdaConfig) -> Self {
+        TrafficSim {
+            traffic,
+            rda,
+            faults: None,
+        }
+    }
+
+    /// Inject faults per the given configuration (expanded over the
+    /// synthetic per-request workload; see [`TrafficPlan::fault_spec`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Execute the run for `seed`. Deterministic: the same
+    /// `(config, seed)` produces the same [`TrafficResult::digest`] on
+    /// any machine and any sweep thread count.
+    pub fn run(&self, seed: u64) -> TrafficResult {
+        let plan = TrafficPlan::generate(&self.traffic, seed);
+        let fault_plan = match &self.faults {
+            Some(fc) => FaultPlan::generate(&plan.fault_spec(), fc, seed),
+            None => FaultPlan::none(),
+        };
+        let mut eng = Engine {
+            cfg: &self.traffic,
+            plan: &plan,
+            faults: fault_plan,
+            ext: RdaExtension::new(self.rda.clone()),
+            heap: BinaryHeap::with_capacity(plan.len() * 2 + 4),
+            waiting: BTreeMap::new(),
+            attempts: vec![0; plan.len()],
+            pending: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            completed: 0,
+            failed: 0,
+            expired: 0,
+            killed: 0,
+            stranded: 0,
+            retries: 0,
+            sojourn: Log2Hist::new(),
+            calls: if self.traffic.record_calls {
+                Some(Vec::new())
+            } else {
+                None
+            },
+        };
+        for (i, r) in plan.requests.iter().enumerate() {
+            eng.push(r.arrival, Ev::Arrival { req: i });
+        }
+        if self.traffic.age_tick_cycles > 0 {
+            eng.push_tick(self.traffic.age_tick_cycles);
+        }
+        eng.drive(&self.rda);
+        let rda = eng.ext.stats();
+        eng.ext
+            .check_invariants()
+            .expect("traffic run left the extension inconsistent");
+        let arrivals = plan.len() as u64;
+        debug_assert_eq!(
+            eng.completed + eng.failed + eng.expired + eng.killed + eng.stranded,
+            arrivals,
+            "every request must reach exactly one terminal state"
+        );
+        TrafficResult {
+            arrivals,
+            completed: eng.completed,
+            failed: eng.failed,
+            expired: eng.expired,
+            killed: eng.killed,
+            stranded: eng.stranded,
+            retries: eng.retries,
+            rda,
+            sojourn: eng.sojourn,
+            goodput_per_sec: eng.completed as f64 / self.traffic.duration_secs,
+            calls: eng.calls,
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn push(&mut self, t: u64, ev: Ev) {
+        if !matches!(ev, Ev::Tick) {
+            self.pending += 1;
+        }
+        self.heap.push(QEntry {
+            t,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    fn push_tick(&mut self, t: u64) {
+        self.heap.push(QEntry {
+            t,
+            seq: self.seq,
+            ev: Ev::Tick,
+        });
+        self.seq += 1;
+    }
+
+    fn record(&mut self, call: RdaCall) {
+        if let Some(calls) = &mut self.calls {
+            calls.push(call);
+        }
+    }
+
+    fn pid(req: usize) -> ProcessId {
+        ProcessId(req as u32)
+    }
+
+    fn drive(&mut self, rda: &RdaConfig) {
+        // A tick can only unstick a waiter when something ages it out
+        // (force-admit) or expires it (deadline); without either, a
+        // waitlist with no completions in flight is permanently stuck.
+        let can_unstick = rda.waitlist_timeout_cycles.is_some()
+            || rda.overload.as_ref().is_some_and(|o| o.deadline_cycles.is_some());
+        let overload_on = rda.overload.is_some();
+        loop {
+            while let Some(e) = self.heap.pop() {
+                self.now = SimTime::from_cycles(e.t);
+                match e.ev {
+                    Ev::Arrival { req } => {
+                        self.pending -= 1;
+                        self.attempt(req);
+                    }
+                    Ev::Retry { req } => {
+                        self.pending -= 1;
+                        let r = &self.plan.requests[req];
+                        let (site, resource) = (SiteId(r.site), rda_core::Resource::Llc);
+                        self.ext
+                            .note_retry(Self::pid(req), site, resource, self.now);
+                        self.record(RdaCall::Retry {
+                            now: self.now,
+                            process: Self::pid(req),
+                            site,
+                            resource,
+                        });
+                        self.retries += 1;
+                        self.attempt(req);
+                    }
+                    Ev::Complete { req, pp } => {
+                        self.pending -= 1;
+                        self.complete(req, pp);
+                    }
+                    Ev::Tick => {
+                        let now = self.now;
+                        let out = self.ext.age_waitlist(now);
+                        // Under overload control every tick advances
+                        // breaker hysteresis, so every tick must be in
+                        // the replayable call log; otherwise only ticks
+                        // that admitted something are observable.
+                        if overload_on || !out.resumed.is_empty() {
+                            self.record(RdaCall::Age { now });
+                        }
+                        for (pp, _) in out.resumed {
+                            self.wake(pp);
+                        }
+                        for (pp, _) in out.expired {
+                            let req = self
+                                .waiting
+                                .remove(&pp.0)
+                                .expect("expired period not waitlisted");
+                            debug_assert!(self.attempts[req] < u32::MAX);
+                            // A missed deadline is an end-to-end SLO
+                            // failure: no retry.
+                            self.expired += 1;
+                        }
+                        if self.pending > 0 || (!self.waiting.is_empty() && can_unstick) {
+                            self.push_tick(e.t + self.cfg.age_tick_cycles);
+                        }
+                    }
+                }
+            }
+            if self.waiting.is_empty() {
+                break;
+            }
+            // Heap drained with waiters left: nothing can ever unstick
+            // them. Reclaim deterministically (ascending period id).
+            let stuck: Vec<(u64, usize)> = self.waiting.iter().map(|(&k, &v)| (k, v)).collect();
+            for (ppid, req) in stuck {
+                if self.waiting.remove(&ppid).is_none() {
+                    continue; // resumed by an earlier reclaim this round
+                }
+                self.record(RdaCall::Exit {
+                    now: self.now,
+                    process: Self::pid(req),
+                });
+                let resumed = self.ext.process_exit(Self::pid(req), self.now);
+                self.stranded += 1;
+                for (pp, _) in resumed {
+                    self.wake(pp);
+                }
+            }
+        }
+    }
+
+    /// One admission try (first arrival or a retry).
+    fn attempt(&mut self, req: usize) {
+        let r = &self.plan.requests[req];
+        let fault = self.faults.phase(req, 0);
+        let declared = if fault.demand_factor != 1.0 {
+            (r.demand as f64 * fault.demand_factor) as u64
+        } else {
+            r.demand
+        };
+        let demand = PpDemand::llc(declared, ReuseLevel::High);
+        let (service, site) = (r.service, SiteId(r.site));
+        self.record(RdaCall::Begin {
+            now: self.now,
+            process: Self::pid(req),
+            site,
+            demand,
+        });
+        match self.ext.pp_begin(Self::pid(req), site, demand, self.now) {
+            Ok(BeginOutcome::Run { pp, .. }) => {
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: Some(pp) });
+            }
+            Ok(BeginOutcome::Bypass) => {
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: None });
+            }
+            Ok(BeginOutcome::Pause { pp, shed }) => {
+                if let Some(victim) = shed {
+                    // RejectOldest evicted the longest waiter to make
+                    // room; its period is already completed.
+                    let vreq = self
+                        .waiting
+                        .remove(&victim.0)
+                        .expect("shed victim not waitlisted");
+                    self.retry_or_fail(vreq);
+                }
+                if self.faults.kill_at(req) == Some(0) {
+                    // Fault-killed while waitlisted: the process dies
+                    // holding its queued period; exit reclaims it.
+                    self.record(RdaCall::Exit {
+                        now: self.now,
+                        process: Self::pid(req),
+                    });
+                    let resumed = self.ext.process_exit(Self::pid(req), self.now);
+                    self.killed += 1;
+                    for (woken, _) in resumed {
+                        self.wake(woken);
+                    }
+                } else {
+                    self.waiting.insert(pp.0, req);
+                }
+            }
+            Err(RdaError::WaitlistFull { .. }) | Err(RdaError::BreakerOpen { .. }) => {
+                self.retry_or_fail(req);
+            }
+            Err(_) => {
+                // Auditor refusal (demand overflow): per the API
+                // contract the caller falls back to untracked
+                // scheduling, so the request still completes.
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: None });
+            }
+        }
+    }
+
+    /// Schedule the service completion of a just-admitted waiter.
+    fn wake(&mut self, pp: rda_core::PpId) {
+        let req = self
+            .waiting
+            .remove(&pp.0)
+            .expect("resumed period not waitlisted");
+        let t = self
+            .now
+            .cycles()
+            .saturating_add(self.plan.requests[req].service);
+        self.push(t, Ev::Complete { req, pp: Some(pp) });
+    }
+
+    /// Retry a shed request with exponential backoff, or fail it once
+    /// its attempt budget is spent.
+    fn retry_or_fail(&mut self, req: usize) {
+        let a = self.attempts[req];
+        if a + 1 < self.cfg.max_attempts {
+            self.attempts[req] = a + 1;
+            let backoff = self
+                .cfg
+                .backoff_base_cycles
+                .saturating_mul(1u64.checked_shl(a).unwrap_or(u64::MAX));
+            let jitter = self.plan.requests[req].jitter[a as usize];
+            let t = self
+                .now
+                .cycles()
+                .saturating_add(backoff)
+                .saturating_add(jitter);
+            self.push(t, Ev::Retry { req });
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// A request finished its service.
+    fn complete(&mut self, req: usize, pp: Option<rda_core::PpId>) {
+        let sojourn = self
+            .now
+            .cycles()
+            .saturating_sub(self.plan.requests[req].arrival);
+        let Some(pp) = pp else {
+            self.completed += 1;
+            self.sojourn.record(sojourn);
+            return;
+        };
+        let fault = self.faults.phase(req, 0);
+        if self.faults.kill_at(req) == Some(0) {
+            // Died at phase completion holding the open period.
+            self.record(RdaCall::Exit {
+                now: self.now,
+                process: Self::pid(req),
+            });
+            let resumed = self.ext.process_exit(Self::pid(req), self.now);
+            self.killed += 1;
+            for (woken, _) in resumed {
+                self.wake(woken);
+            }
+            return;
+        }
+        if fault.leak_end {
+            // The work finished but `pp_end` never came; process exit
+            // reclaims the leaked period.
+            self.record(RdaCall::Exit {
+                now: self.now,
+                process: Self::pid(req),
+            });
+            let resumed = self.ext.process_exit(Self::pid(req), self.now);
+            for (woken, _) in resumed {
+                self.wake(woken);
+            }
+        } else {
+            self.record(RdaCall::End { now: self.now, pp });
+            let out = self
+                .ext
+                .pp_end(pp, self.now)
+                .expect("first pp_end of a running period cannot fail");
+            for (woken, _) in out.resumed {
+                self.wake(woken);
+            }
+            if fault.double_end {
+                self.record(RdaCall::End { now: self.now, pp });
+                let second = self.ext.pp_end(pp, self.now);
+                debug_assert!(
+                    matches!(second, Err(RdaError::DoubleEnd(_))),
+                    "second pp_end must be rejected as a double end"
+                );
+            }
+        }
+        self.completed += 1;
+        self.sojourn.record(sojourn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::{BreakerConfig, OverloadConfig, PolicyKind, ShedPolicy};
+    use rda_machine::MachineConfig;
+
+    fn rda_cfg() -> RdaConfig {
+        RdaConfig::for_machine(&MachineConfig::xeon_e5_2420(), PolicyKind::Strict)
+    }
+
+    fn overload_cfg() -> OverloadConfig {
+        OverloadConfig {
+            waitlist_cap: 16,
+            shed_policy: ShedPolicy::RejectNewest,
+            deadline_cycles: Some(40_000_000), // ~21 ms at 1.9 GHz
+            breaker: Some(BreakerConfig {
+                high_water: mb(14.0),
+                low_water: mb(8.0),
+                trip_after: 4,
+                recover_after: 4,
+                shed_min_demand: mb(1.0),
+            }),
+        }
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        let cfg = TrafficConfig::web_default(800.0, 0.5);
+        let a = TrafficPlan::generate(&cfg, 7);
+        let b = TrafficPlan::generate(&cfg, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, TrafficPlan::generate(&cfg, 8));
+        assert!(!a.is_empty());
+        // Arrivals are ordered and inside the window.
+        let horizon = (cfg.duration_secs * cfg.cycles_per_sec) as u64;
+        let mut prev = 0;
+        for r in &a.requests {
+            assert!(r.arrival >= prev && r.arrival < horizon);
+            assert_eq!(r.jitter.len(), cfg.max_attempts as usize);
+            assert!(r.service >= 1);
+            prev = r.arrival;
+        }
+    }
+
+    #[test]
+    fn plan_sustains_service_scale() {
+        // The engine's design point: ~1e5 request lifecycles per
+        // simulated hour at a modest 30 req/s.
+        let cfg = TrafficConfig::web_default(30.0, 3600.0);
+        let plan = TrafficPlan::generate(&cfg, 1);
+        assert!(
+            plan.len() > 100_000,
+            "expected >1e5 requests/hour, got {}",
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_thins_against_the_peak() {
+        let mut cfg = TrafficConfig::web_default(0.0, 2.0);
+        cfg.pattern = ArrivalPattern::Diurnal {
+            base_per_sec: 100.0,
+            peak_per_sec: 1000.0,
+            period_secs: 1.0,
+        };
+        let diurnal = TrafficPlan::generate(&cfg, 3).len();
+        cfg.pattern = ArrivalPattern::Poisson {
+            rate_per_sec: 1000.0,
+        };
+        let flat = TrafficPlan::generate(&cfg, 3).len();
+        // Mean diurnal rate is (base+peak)/2 = 55% of peak.
+        assert!(diurnal < flat * 3 / 4, "diurnal {diurnal} vs flat {flat}");
+        assert!(diurnal > flat / 3, "diurnal {diurnal} vs flat {flat}");
+    }
+
+    #[test]
+    fn underload_completes_every_request() {
+        let sim = TrafficSim::new(
+            TrafficConfig::web_default(300.0, 0.5),
+            rda_cfg().with_overload(overload_cfg()),
+        );
+        let r = sim.run(11);
+        assert!(r.arrivals > 0);
+        assert_eq!(r.completed, r.arrivals, "underload must not shed: {r:?}");
+        assert_eq!(r.failed + r.expired + r.killed + r.stranded, 0);
+        assert!(r.p50() > 0 && r.p99() >= r.p50());
+        assert!(r.goodput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let sim = TrafficSim::new(
+            TrafficConfig::web_default(4_000.0, 0.25),
+            rda_cfg().with_overload(overload_cfg()),
+        )
+        .with_faults(FaultConfig::uniform(0.05));
+        assert_eq!(sim.run(42).digest(), sim.run(42).digest());
+        assert_ne!(sim.run(42).digest(), sim.run(43).digest());
+    }
+
+    #[test]
+    fn sustained_overload_with_faults_never_panics_and_sheds() {
+        // ~10× the capacity the service-time/demand mix can carry,
+        // with every fault class active: the engine must terminate,
+        // keep the extension consistent (checked inside run), and
+        // account for every request.
+        let mut traffic = TrafficConfig::web_default(20_000.0, 0.1);
+        traffic.record_calls = true;
+        let sim = TrafficSim::new(traffic, rda_cfg().with_overload(overload_cfg()))
+            .with_faults(FaultConfig::uniform(0.1));
+        let r = sim.run(5);
+        assert!(r.arrivals > 1_000, "arrivals {}", r.arrivals);
+        assert!(r.rda.shed > 0, "10x overload must shed: {r:?}");
+        assert!(r.retries > 0, "sheds must drive retries");
+        assert!(r.completed > 0, "overload control must preserve goodput");
+        assert!(r.calls.as_ref().is_some_and(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn overload_without_control_still_terminates() {
+        // No overload config, no aging, faults leaking periods: the
+        // stranding path must reclaim stuck waiters deterministically.
+        let sim = TrafficSim::new(TrafficConfig::web_default(8_000.0, 0.05), rda_cfg())
+            .with_faults(FaultConfig::uniform(0.3));
+        let a = sim.run(9);
+        let b = sim.run(9);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(
+            a.completed + a.failed + a.expired + a.killed + a.stranded,
+            a.arrivals
+        );
+    }
+
+    #[test]
+    fn shed_policies_change_who_loses() {
+        let mut base = overload_cfg();
+        base.waitlist_cap = 4;
+        base.breaker = None;
+        let traffic = TrafficConfig::web_default(12_000.0, 0.05);
+        let mut digests = Vec::new();
+        for policy in [
+            ShedPolicy::RejectNewest,
+            ShedPolicy::RejectOldest,
+            ShedPolicy::DegradeToOverflow,
+        ] {
+            let mut o = base;
+            o.shed_policy = policy;
+            let r = TrafficSim::new(traffic.clone(), rda_cfg().with_overload(o)).run(2);
+            assert!(r.rda.shed > 0, "{policy:?} never shed");
+            digests.push(r.digest());
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 3, "policies must be observably different");
+    }
+}

@@ -29,6 +29,17 @@ pub enum EventKind {
     Exit,
     /// A call was rejected with a typed error (see [`RejectKind`]).
     Reject,
+    /// Overload control shed an arrival or evicted a waiter (bounded
+    /// gate or open breaker; see [`RejectKind`] for which).
+    Shed,
+    /// A waitlisted period expired past its deadline.
+    Expire,
+    /// The client retried a previously shed or expired arrival.
+    Retry,
+    /// The saturation circuit breaker tripped open for a resource.
+    BreakerTrip,
+    /// The saturation circuit breaker reset after recovery hysteresis.
+    BreakerReset,
 }
 
 impl EventKind {
@@ -43,6 +54,11 @@ impl EventKind {
             EventKind::End => "end",
             EventKind::Exit => "exit",
             EventKind::Reject => "reject",
+            EventKind::Shed => "shed",
+            EventKind::Expire => "expire",
+            EventKind::Retry => "retry",
+            EventKind::BreakerTrip => "breaker_trip",
+            EventKind::BreakerReset => "breaker_reset",
         }
     }
 }
@@ -81,6 +97,10 @@ pub enum RejectKind {
     DoubleEnd,
     /// `pp_end` of a period still parked on the waitlist.
     EndWhileWaitlisted,
+    /// The bounded admission gate shed at the waitlist cap.
+    WaitlistFull,
+    /// The open saturation breaker shed the arrival.
+    BreakerOpen,
 }
 
 impl RejectKind {
@@ -92,6 +112,8 @@ impl RejectKind {
             RejectKind::UnknownPp => "unknown_pp",
             RejectKind::DoubleEnd => "double_end",
             RejectKind::EndWhileWaitlisted => "end_while_waitlisted",
+            RejectKind::WaitlistFull => "waitlist_full",
+            RejectKind::BreakerOpen => "breaker_open",
         }
     }
 }
@@ -157,14 +179,37 @@ mod tests {
             EventKind::End,
             EventKind::Exit,
             EventKind::Reject,
+            EventKind::Shed,
+            EventKind::Expire,
+            EventKind::Retry,
+            EventKind::BreakerTrip,
+            EventKind::BreakerReset,
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
         assert_eq!(EventKind::Begin.label(), "begin");
+        assert_eq!(EventKind::Shed.label(), "shed");
+        assert_eq!(EventKind::BreakerTrip.label(), "breaker_trip");
         assert_eq!(TraceResource::Llc.label(), "llc");
         assert_eq!(RejectKind::DoubleEnd.label(), "double_end");
+        assert_eq!(RejectKind::WaitlistFull.label(), "waitlist_full");
+        assert_eq!(RejectKind::BreakerOpen.label(), "breaker_open");
+
+        let rejects = [
+            RejectKind::None,
+            RejectKind::DemandOverflow,
+            RejectKind::UnknownPp,
+            RejectKind::DoubleEnd,
+            RejectKind::EndWhileWaitlisted,
+            RejectKind::WaitlistFull,
+            RejectKind::BreakerOpen,
+        ];
+        let mut rlabels: Vec<&str> = rejects.iter().map(|k| k.label()).collect();
+        rlabels.sort_unstable();
+        rlabels.dedup();
+        assert_eq!(rlabels.len(), rejects.len());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! to instants (`ph:"i"`). Timestamps are microseconds, converted from
 //! logical cycles at the machine's clock frequency.
 
-use crate::event::{EventKind, TraceEvent, NO_PP};
+use crate::event::{EventKind, RejectKind, TraceEvent, NO_PP};
 use crate::sink::TraceReport;
 use rda_metrics::Json;
 
@@ -51,10 +51,10 @@ fn event_args(ev: &TraceEvent) -> Json {
         ("amount", num(ev.amount)),
         ("fast", Json::Bool(ev.fast)),
     ];
-    if matches!(ev.kind, EventKind::Resume | EventKind::Age) {
+    if matches!(ev.kind, EventKind::Resume | EventKind::Age | EventKind::Expire) {
         pairs.push(("wait_cycles", num(ev.wait_cycles)));
     }
-    if ev.kind == EventKind::Reject {
+    if matches!(ev.kind, EventKind::Reject | EventKind::Shed) {
         pairs.push(("reject", Json::Str(ev.reject.label().to_string())));
     }
     Json::obj(pairs)
@@ -75,13 +75,43 @@ fn push_event(out: &mut Vec<Json>, run: &LabeledReport<'_>, ev: &TraceEvent, fre
     let ts = us(ev.t_cycles, freq_hz);
     let pid = run.pid;
     match ev.kind {
-        EventKind::Begin | EventKind::Exit | EventKind::Reject => {
+        EventKind::Begin
+        | EventKind::Exit
+        | EventKind::Reject
+        | EventKind::Retry
+        | EventKind::BreakerTrip
+        | EventKind::BreakerReset => {
             let name = if ev.kind == EventKind::Reject {
                 format!("reject:{}", ev.reject.label())
             } else {
                 ev.kind.label().to_string()
             };
             let mut pairs = base("i", name, "rda", pid, ts);
+            pairs.push(("s", Json::Str("t".to_string())));
+            pairs.push(("args", event_args(ev)));
+            out.push(Json::obj(pairs));
+        }
+        EventKind::Shed | EventKind::Expire => {
+            // An evicted victim or a deadline expiry removes a
+            // waitlisted period for good: close its wait span. A
+            // degraded direct-to-overflow admit (Shed with a pp but no
+            // reject reason) instead opens a pp span — its later End
+            // closes it. A tail-drop or breaker shed never allocated a
+            // pp and is an instant only.
+            if ev.pp != NO_PP {
+                if ev.kind == EventKind::Shed && ev.reject == RejectKind::None {
+                    let mut open = base("b", format!("pp@site{}", ev.site), "pp", pid, ts.clone());
+                    open.push(("id", pp_json(ev.pp)));
+                    open.push(("args", event_args(ev)));
+                    out.push(Json::obj(open));
+                } else {
+                    let mut close = base("e", "waitlisted".to_string(), "wait", pid, ts.clone());
+                    close.push(("id", pp_json(ev.pp)));
+                    close.push(("args", event_args(ev)));
+                    out.push(Json::obj(close));
+                }
+            }
+            let mut pairs = base("i", ev.kind.label().to_string(), "rda", pid, ts);
             pairs.push(("s", Json::Str("t".to_string())));
             pairs.push(("args", event_args(ev)));
             out.push(Json::obj(pairs));
@@ -237,10 +267,12 @@ pub fn render_text(label: &str, report: &TraceReport, freq_hz: f64) -> String {
         if ev.fast {
             line.push_str(" fast");
         }
-        if matches!(ev.kind, EventKind::Resume | EventKind::Age) {
+        if matches!(ev.kind, EventKind::Resume | EventKind::Age | EventKind::Expire) {
             line.push_str(&format!(" waited={}cy", ev.wait_cycles));
         }
-        if ev.kind == EventKind::Reject {
+        if ev.kind == EventKind::Reject
+            || (ev.kind == EventKind::Shed && ev.reject != RejectKind::None)
+        {
             line.push_str(&format!(" reason={}", ev.reject.label()));
         }
         line.push('\n');

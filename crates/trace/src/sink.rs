@@ -67,6 +67,16 @@ pub struct PredicateCounts {
     pub exits: u64,
     /// Typed rejections (audit refusals, unknown/double ends, …).
     pub rejects: u64,
+    /// Arrivals shed (or waiters evicted) by overload control.
+    pub shed: u64,
+    /// Waitlisted periods expired past their deadline.
+    pub expired: u64,
+    /// Client-side retries of shed or expired arrivals.
+    pub retried: u64,
+    /// Saturation-breaker trips.
+    pub breaker_trips: u64,
+    /// Saturation-breaker resets after recovery hysteresis.
+    pub breaker_resets: u64,
 }
 
 /// One non-empty wait-histogram bucket in a [`WaitSummary`].
@@ -165,6 +175,17 @@ impl TraceSink {
             }
             EventKind::Exit => self.counts.exits += 1,
             EventKind::Reject => self.counts.rejects += 1,
+            EventKind::Shed => self.counts.shed += 1,
+            EventKind::Expire => {
+                // An expiry ends a waitlist residency just like a
+                // resume or aged admission; its wait belongs in the
+                // same histogram.
+                self.counts.expired += 1;
+                self.wait_hist.record(ev.wait_cycles);
+            }
+            EventKind::Retry => self.counts.retried += 1,
+            EventKind::BreakerTrip => self.counts.breaker_trips += 1,
+            EventKind::BreakerReset => self.counts.breaker_resets += 1,
         }
         self.events.push(ev);
     }
@@ -255,10 +276,35 @@ mod tests {
             (1, 1, 0, 1)
         );
         assert_eq!((c.resumes, c.aged, c.ends, c.exits, c.rejects), (1, 1, 1, 1, 1));
+        assert_eq!(
+            (c.shed, c.expired, c.retried, c.breaker_trips, c.breaker_resets),
+            (0, 0, 0, 0, 0)
+        );
         assert_eq!(report.wait.samples, 2, "histogram never drops");
         assert_eq!(report.wait.max, 37);
         assert!(report.wait.p50 >= 6);
         assert_eq!(report.wait_buckets.iter().map(|b| b.count).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn overload_kinds_feed_their_counters() {
+        let mut sink = TraceSink::new(TraceConfig::default());
+        sink.record(ev(1, EventKind::Shed));
+        let mut expire = ev(2, EventKind::Expire);
+        expire.wait_cycles = 12;
+        sink.record(expire);
+        sink.record(ev(3, EventKind::Retry));
+        sink.record(ev(4, EventKind::BreakerTrip));
+        sink.record(ev(5, EventKind::BreakerReset));
+
+        let report = sink.into_report();
+        let c = report.counts;
+        assert_eq!(
+            (c.shed, c.expired, c.retried, c.breaker_trips, c.breaker_resets),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(report.wait.samples, 1, "expiry ends a waitlist residency");
+        assert_eq!(report.wait.max, 12);
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn main() {
 
     // A third wants 5 MB — 6.3 + 7 + 5 > 15.36: the predicate pauses it.
     match rda.pp_begin(ProcessId(2), SiteId(0), PpDemand::llc(mb(5.0), ReuseLevel::High), t(20)).unwrap() {
-        BeginOutcome::Pause { pp } => {
+        BeginOutcome::Pause { pp, .. } => {
             println!("P2: pp_begin(LLC, MB(5.0), HIGH) → PAUSE ({pp}) — waitlisted");
         }
         other => panic!("expected a pause: {other:?}"),

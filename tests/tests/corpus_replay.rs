@@ -65,6 +65,7 @@ fn draining_corpus_traces_end_idle() {
         "audit_reject_overflow.trace",
         "compromise_aging_overflow.trace",
         "exit_reclaims_all.trace",
+        "overload_shed_expire_breaker.trace",
     ] {
         let text = std::fs::read_to_string(corpus_dir().join(name)).unwrap();
         let doc = TraceDoc::parse(&text).unwrap();

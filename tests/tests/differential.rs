@@ -232,7 +232,7 @@ fn exit_reclaims_admitted_waitlisted_and_overflow_periods() {
     // timeout; it force-admits to the overflow bucket. pp 3 (t=900)
     // still waits.
     match oracle.apply(&TraceEvent::Age { t: 1_100 }).unwrap() {
-        Effect::Woken { resumed } => assert_eq!(resumed.len(), 1),
+        Effect::Woken { resumed, .. } => assert_eq!(resumed.len(), 1),
         other => panic!("{other:?}"),
     }
     let mid = oracle.snapshot();

@@ -176,6 +176,64 @@ fn faulty_sweeps_are_thread_count_invariant() {
     assert_eq!(desyncs, 0, "faulty sweep tripped an internal desync");
 }
 
+/// The fault model's edge rates behave at sweep scale exactly as the
+/// plan-level unit tests promise: rate 0.0 injects nothing (the sweep
+/// digest matches a run with faults disabled entirely), rate 1.0
+/// injects everywhere (every cell reports reclamation work), and both
+/// extremes stay bit-identical between one worker thread and eight.
+#[test]
+fn edge_rate_sweeps_are_thread_count_invariant() {
+    let specs = all_workloads();
+    let grid = SweepGrid::cross(&specs[..1], &[PolicyKind::Strict], 2);
+    let sweep = |threads: usize, faults: Option<FaultConfig>| {
+        run_sweep_configured(
+            &grid,
+            &RunnerOptions {
+                threads,
+                root_seed: 11,
+                ..RunnerOptions::default()
+            },
+            move |cell| {
+                let cfg = SimConfig::paper_default(cell.policy)
+                    .with_demand_audit(DemandAudit::Clamp)
+                    .with_waitlist_timeout_ms(5.0);
+                match faults {
+                    Some(f) => cfg.with_faults(f),
+                    None => cfg,
+                }
+            },
+        )
+    };
+    // Rate 0.0: a plan full of honest phases is indistinguishable from
+    // no plan at all, on any thread count.
+    let zero_serial = sweep(1, Some(FaultConfig::uniform(0.0)));
+    let zero_wide = sweep(8, Some(FaultConfig::uniform(0.0)));
+    let clean = sweep(1, None);
+    assert!(zero_serial.errors.is_empty(), "{:?}", zero_serial.errors);
+    assert_eq!(zero_serial.digest(), zero_wide.digest());
+    assert_eq!(
+        zero_serial.digest(),
+        clean.digest(),
+        "rate 0.0 must be behaviourally identical to faults-off"
+    );
+    // Rate 1.0: every process is killed at its first phase, yet the
+    // sweep still completes deterministically on any thread count.
+    let full_serial = sweep(1, Some(FaultConfig::uniform(1.0)));
+    let full_wide = sweep(8, Some(FaultConfig::uniform(1.0)));
+    assert!(full_serial.errors.is_empty(), "{:?}", full_serial.errors);
+    assert_eq!(full_serial.digest(), full_wide.digest());
+    assert_ne!(full_serial.digest(), zero_serial.digest());
+    for r in &full_serial.records {
+        assert!(
+            r.result.rda.reclaimed > 0,
+            "rate 1.0 cell injected nothing: {}/{}",
+            r.workload,
+            r.policy
+        );
+        assert_eq!(r.result.rda.desyncs, 0);
+    }
+}
+
 /// Degradation is graceful in the product sense: a moderately faulty
 /// run still finishes, and still retires every instruction that the
 /// surviving (unkilled) processes were due to execute — we check the

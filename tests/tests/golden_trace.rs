@@ -21,7 +21,12 @@ use rda_workloads::spec::all_workloads;
 /// `rejected_ends`); they are all zero on this clean grid, but their
 /// presence in the hash stream changes the value. Run behaviour
 /// (counters, energy, wall-clock) is unchanged from the seed.
-const GOLDEN_SWEEP_DIGEST: u64 = 0x0180_8797_4e9e_3e26;
+///
+/// Updated for PR 7: the hash stream gained the four overload-control
+/// counters (`shed`, `expired`, `retried`, `breaker_trips`) — again
+/// all zero on this grid (no `OverloadConfig`), so only the stream
+/// shape changed, not run behaviour.
+const GOLDEN_SWEEP_DIGEST: u64 = 0x90c9_83d2_3898_845c;
 
 #[test]
 fn golden_sweep_digest_is_stable() {
