@@ -25,6 +25,19 @@
 //! The `.trace` text format ([`trace`]) makes every counterexample a
 //! file: replayable, shrinkable, committable. See DESIGN.md §“Reference
 //! model & checking methodology”.
+//!
+//! ## Topology checking
+//!
+//! The multi-resource NUMA topology engine (`rda_core::TopoExtension`)
+//! has its own parallel stack: a recompute-by-summation reference model
+//! ([`topo_model::TopoRefModel`]) whose books are re-derived from live
+//! periods on every call, a vector-aware trace dialect
+//! ([`topo_trace::TopoDoc`]), a lock-step oracle ([`topo_diff`]), and a
+//! bounded explorer over 2-node × 2-layer templates ([`topo_explore`]).
+//! Legacy scalar traces replay through the topology oracle unchanged
+//! via [`topo_trace::lift`], and the explorer permanently proves its
+//! own sensitivity by catching an injected exact-fit off-by-one
+//! ([`topo_model::TopoMutation::StrictOffByOne`]).
 
 #![warn(missing_docs)]
 
@@ -32,12 +45,23 @@ pub mod diff;
 pub mod explore;
 pub mod gen;
 pub mod model;
+pub mod topo_diff;
+pub mod topo_explore;
+pub mod topo_model;
+pub mod topo_trace;
 pub mod trace;
 
 pub use diff::{replay, Divergence, Oracle, ReplayReport};
 pub use explore::{explore, Exploration, Op, Template};
 pub use gen::{fuzz, random_doc, shrink, FuzzFailure, GenParams};
 pub use model::{Effect, RefModel};
+pub use topo_diff::{
+    describe_topo_snapshot_diff, replay_lifted, replay_topo, TopoDivergence, TopoOracle,
+    TopoReplayReport,
+};
+pub use topo_explore::{explore_topo, TopoExploration, TopoOp, TopoTemplate};
+pub use topo_model::{TopoEffect, TopoMutation, TopoRefModel};
+pub use topo_trace::{default_topo_config, lift, lift_kind, TopoDoc, TopoEvent};
 pub use trace::{TraceDoc, TraceEvent};
 
 use rda_sim::system::RdaCall;
@@ -85,4 +109,53 @@ pub fn doc_from_calls(cfg: rda_core::RdaConfig, calls: &[RdaCall]) -> TraceDoc {
         })
         .collect();
     TraceDoc { cfg, events }
+}
+
+/// Convert a call log recorded by `rda_sim::TopoTrafficSim` (with
+/// `TopoTrafficConfig::record_calls`) into a replayable [`TopoDoc`] —
+/// the bridge that lets whole multi-node overload+fault runs be
+/// re-checked against the topology reference model event by event.
+///
+/// `cfg` must be the *post-assignment* configuration the run executed
+/// under (i.e. with the per-request layer assignments the driver
+/// materialised), or layer-dependent decisions will not reproduce.
+pub fn topo_doc_from_calls(cfg: rda_core::TopoConfig, calls: &[rda_sim::TopoCall]) -> TopoDoc {
+    use rda_sim::TopoCall;
+    let events = calls
+        .iter()
+        .map(|c| match *c {
+            TopoCall::Begin {
+                now,
+                process,
+                site,
+                demand,
+            } => TopoEvent::Begin {
+                t: now.cycles(),
+                process: process.0,
+                site: site.0,
+                demand,
+            },
+            TopoCall::End { now, pp } => TopoEvent::End {
+                t: now.cycles(),
+                pp: pp.0,
+            },
+            TopoCall::Exit { now, process } => TopoEvent::Exit {
+                t: now.cycles(),
+                process: process.0,
+            },
+            TopoCall::Age { now } => TopoEvent::Age { t: now.cycles() },
+            TopoCall::Retry {
+                now,
+                process,
+                site,
+                kind,
+            } => TopoEvent::Retry {
+                t: now.cycles(),
+                process: process.0,
+                site: site.0,
+                kind,
+            },
+        })
+        .collect();
+    TopoDoc { cfg, events }
 }

@@ -1,0 +1,409 @@
+//! The topology differential oracle: one event stream, two machines,
+//! equality after every step.
+//!
+//! [`TopoOracle`] drives the implementation
+//! ([`rda_core::TopoExtension`]) and the recompute-by-summation
+//! reference model ([`crate::topo_model::TopoRefModel`]) with identical
+//! calls and, after *every* event, demands:
+//!
+//! 1. the per-call results agree (outcome variant, allocated id,
+//!    resumed/expired/shed lists **in order**, error variant and
+//!    payload, including node and resource-kind payloads);
+//! 2. the observable snapshots are bit-identical — per-node nominal and
+//!    overflow books, per-node waitlist order with enqueue times, live
+//!    periods with their layer/node/vectors, every stats counter, and
+//!    the id-allocator position;
+//! 3. the per-node saturation-breaker open flags agree;
+//! 4. the implementation's own `check_invariants` passes (which
+//!    recomputes the incremental per-node *and per-layer* books).
+//!
+//! Since the model derives every book by summation while the
+//! implementation maintains them incrementally, agreement here is a
+//! proof that no release path (end, exit, shed, expiry) ever leaks a
+//! component of a demand vector — the multi-resource drain audit of
+//! DESIGN.md §9, checked on every event of every replayed trace.
+
+use crate::topo_model::{TopoEffect, TopoMutation, TopoRefModel};
+use crate::topo_trace::{lift, TopoDoc, TopoEvent};
+use crate::trace::TraceDoc;
+use rda_core::{
+    BeginOutcome, NodeId, PpId, ResourceKind, SiteId, TopoConfig, TopoExtension, TopoSnapshot,
+};
+use rda_sched::ProcessId;
+use rda_simcore::SimTime;
+use std::fmt;
+
+/// A point where the topology implementation and its model disagree
+/// (or the implementation violated its own invariants).
+#[derive(Debug, Clone)]
+pub struct TopoDivergence {
+    /// 0-based index of the offending event in the replayed sequence.
+    pub step: usize,
+    /// The event being applied when the disagreement surfaced.
+    pub event: TopoEvent,
+    /// What disagreed, rendered for humans.
+    pub detail: String,
+}
+
+impl fmt::Display for TopoDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology divergence at step {} on {:?}: {}",
+            self.step, self.event, self.detail
+        )
+    }
+}
+
+impl std::error::Error for TopoDivergence {}
+
+/// Implementation + model in lockstep.
+#[derive(Debug, Clone)]
+pub struct TopoOracle {
+    ext: TopoExtension,
+    model: TopoRefModel,
+    steps: usize,
+}
+
+impl TopoOracle {
+    /// Both machines fresh under the same configuration.
+    pub fn new(cfg: TopoConfig) -> Self {
+        Self::with_mutation(cfg, TopoMutation::None)
+    }
+
+    /// An oracle whose *model* carries an injected bug — used by the
+    /// explorer's self-test to prove divergences are caught.
+    pub fn with_mutation(cfg: TopoConfig, mutation: TopoMutation) -> Self {
+        TopoOracle {
+            ext: TopoExtension::new(cfg.clone()),
+            model: TopoRefModel::with_mutation(cfg, mutation),
+            steps: 0,
+        }
+    }
+
+    /// The implementation under test.
+    pub fn ext(&self) -> &TopoExtension {
+        &self.ext
+    }
+
+    /// The reference model.
+    pub fn model(&self) -> &TopoRefModel {
+        &self.model
+    }
+
+    /// Events applied so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The agreed observable state (checked equal on every step).
+    pub fn snapshot(&self) -> TopoSnapshot {
+        self.ext.snapshot()
+    }
+
+    /// Apply one event to both machines and check full equivalence.
+    /// On success returns the (agreed) effect of the call.
+    pub fn apply(&mut self, event: &TopoEvent) -> Result<TopoEffect, Box<TopoDivergence>> {
+        let step = self.steps;
+        self.steps += 1;
+        let diverged = |detail: String| {
+            Box::new(TopoDivergence {
+                step,
+                event: *event,
+                detail,
+            })
+        };
+
+        let (got, want) = match *event {
+            TopoEvent::Begin {
+                t,
+                process,
+                site,
+                demand,
+            } => {
+                let got = match self.ext.pp_begin(
+                    ProcessId(process),
+                    SiteId(site),
+                    demand,
+                    SimTime::from_cycles(t),
+                ) {
+                    Ok(BeginOutcome::Bypass) => TopoEffect::Bypass,
+                    Ok(BeginOutcome::Run { pp, .. }) => TopoEffect::Run { pp },
+                    Ok(BeginOutcome::Pause { pp, shed }) => TopoEffect::Pause { pp, shed },
+                    Err(e) => TopoEffect::Rejected(e),
+                };
+                let want = self.model.pp_begin(ProcessId(process), site, demand, t);
+                (got, want)
+            }
+            TopoEvent::End { t, pp } => {
+                let got = match self.ext.pp_end(PpId(pp), SimTime::from_cycles(t)) {
+                    Ok(out) => TopoEffect::End {
+                        resumed: out.resumed,
+                    },
+                    Err(e) => TopoEffect::Rejected(e),
+                };
+                let want = self.model.pp_end(PpId(pp), t);
+                (got, want)
+            }
+            TopoEvent::Exit { t, process } => {
+                let got = TopoEffect::Woken {
+                    resumed: self
+                        .ext
+                        .process_exit(ProcessId(process), SimTime::from_cycles(t)),
+                    expired: Vec::new(),
+                };
+                let want = self.model.process_exit(ProcessId(process), t);
+                (got, want)
+            }
+            TopoEvent::Age { t } => {
+                let out = self.ext.age_waitlist(SimTime::from_cycles(t));
+                let got = TopoEffect::Woken {
+                    resumed: out.resumed,
+                    expired: out.expired,
+                };
+                let want = self.model.age_waitlist(t);
+                (got, want)
+            }
+            TopoEvent::Retry {
+                t,
+                process,
+                site,
+                kind,
+            } => {
+                self.ext.note_retry(
+                    ProcessId(process),
+                    SiteId(site),
+                    kind,
+                    SimTime::from_cycles(t),
+                );
+                (TopoEffect::Retried, self.model.note_retry())
+            }
+        };
+
+        if got != want {
+            return Err(diverged(format!(
+                "call effect mismatch\n  implementation: {got:?}\n  model:          {want:?}"
+            )));
+        }
+        let (ext_snap, model_snap) = (self.ext.snapshot(), self.model.snapshot());
+        if let Some(diff) = describe_topo_snapshot_diff(&model_snap, &ext_snap) {
+            return Err(diverged(format!("snapshot mismatch: {diff}")));
+        }
+        for n in 0..self.ext.node_count() {
+            for k in ResourceKind::ALL {
+                let node = NodeId(n as u32);
+                let (i, m) = (
+                    self.ext.breaker_is_open(node, k),
+                    self.model.breaker_is_open(node, k),
+                );
+                if i != m {
+                    return Err(diverged(format!(
+                        "breaker[{node}/{k}]: implementation open={i}, model open={m}"
+                    )));
+                }
+            }
+        }
+        if let Err(e) = self.ext.check_invariants() {
+            return Err(diverged(format!("implementation invariant violated: {e}")));
+        }
+        Ok(got)
+    }
+}
+
+/// First difference between two topology snapshots, rendered for
+/// humans; `None` when they are identical.
+pub fn describe_topo_snapshot_diff(model: &TopoSnapshot, ext: &TopoSnapshot) -> Option<String> {
+    if model == ext {
+        return None;
+    }
+    if model.usage.len() != ext.usage.len() {
+        return Some(format!(
+            "node count: model {} vs implementation {}",
+            model.usage.len(),
+            ext.usage.len()
+        ));
+    }
+    for n in 0..model.usage.len() {
+        for k in ResourceKind::ALL {
+            let i = rda_core::ResourceSpace::index(k);
+            if model.usage[n][i] != ext.usage[n][i] {
+                return Some(format!(
+                    "usage[node{n}][{k}]: model {} vs implementation {}",
+                    model.usage[n][i], ext.usage[n][i]
+                ));
+            }
+            if model.overflow[n][i] != ext.overflow[n][i] {
+                return Some(format!(
+                    "overflow[node{n}][{k}]: model {} vs implementation {}",
+                    model.overflow[n][i], ext.overflow[n][i]
+                ));
+            }
+        }
+        if model.waitlists[n] != ext.waitlists[n] {
+            return Some(format!(
+                "waitlist[node{n}]: model {:?} vs implementation {:?}",
+                model.waitlists[n], ext.waitlists[n]
+            ));
+        }
+    }
+    if model.periods != ext.periods {
+        return Some(format!(
+            "periods: model {:?} vs implementation {:?}",
+            model.periods, ext.periods
+        ));
+    }
+    if model.stats != ext.stats {
+        return Some(format!(
+            "stats: model {:?} vs implementation {:?}",
+            model.stats, ext.stats
+        ));
+    }
+    if model.allocated != ext.allocated {
+        return Some(format!(
+            "allocated: model {} vs implementation {}",
+            model.allocated, ext.allocated
+        ));
+    }
+    Some("snapshots differ".to_string())
+}
+
+/// Summary of a clean topology replay.
+#[derive(Debug, Clone)]
+pub struct TopoReplayReport {
+    /// Events replayed.
+    pub steps: usize,
+    /// The (agreed) final observable state.
+    pub final_snapshot: TopoSnapshot,
+    /// The (agreed) effect of every event, in order.
+    pub effects: Vec<TopoEffect>,
+}
+
+/// Replay a whole topology trace through the oracle.
+pub fn replay_topo(doc: &TopoDoc) -> Result<TopoReplayReport, Box<TopoDivergence>> {
+    let mut oracle = TopoOracle::new(doc.cfg.clone());
+    let mut effects = Vec::with_capacity(doc.events.len());
+    for event in &doc.events {
+        effects.push(oracle.apply(event)?);
+    }
+    Ok(TopoReplayReport {
+        steps: oracle.steps(),
+        final_snapshot: oracle.snapshot(),
+        effects,
+    })
+}
+
+/// Replay a *scalar* trace through the topology oracle by lifting it
+/// with [`crate::topo_trace::lift`] — every legacy corpus trace doubles
+/// as a compatibility check of the topology engine.
+pub fn replay_lifted(doc: &TraceDoc) -> Result<TopoReplayReport, Box<TopoDivergence>> {
+    replay_topo(&lift(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::Demand;
+
+    fn doc(text: &str) -> TopoDoc {
+        TopoDoc::parse(text).unwrap()
+    }
+
+    #[test]
+    fn two_node_spillover_replays_cleanly() {
+        let d = doc(
+            "node 100 50 1000\nnode 100 50 1000\n\
+             vbegin 0 0 0 60 0 0\nvbegin 10 1 1 60 0 0\nvbegin 20 2 2 60 0 0\n\
+             end 30 0\nend 40 1\nend 50 2\n",
+        );
+        let report = replay_topo(&d).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.steps, 6);
+        assert!(report.final_snapshot.is_idle());
+        assert_eq!(report.final_snapshot.stats.paused, 1, "third 60 had to wait");
+        assert_eq!(report.final_snapshot.stats.resumed, 1);
+    }
+
+    #[test]
+    fn layered_guarantee_replays_cleanly() {
+        let d = doc(
+            "node 100 50 1000\n\
+             layer batch strict\nlayer latency strict guarantee 40 0 0\nassign 9 1\n\
+             vbegin 0 0 0 61 0 0\nvbegin 10 9 1 30 0 0\nvbegin 20 1 2 60 0 0\n\
+             end 30 1\nend 40 2\nexit 50 0\n",
+        );
+        let report = replay_topo(&d).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.final_snapshot.is_idle());
+        assert!(matches!(report.effects[0], TopoEffect::Pause { .. }));
+        assert!(matches!(report.effects[1], TopoEffect::Run { .. }));
+        assert!(matches!(report.effects[2], TopoEffect::Run { .. }));
+    }
+
+    #[test]
+    fn multi_resource_overload_replays_cleanly() {
+        let d = doc(
+            "node 100 50 1000\nnode 100 50 1000\n\
+             audit clamp\ntimeout 1000\noverload 1 reject_oldest\ndeadline 2000\n\
+             breaker 90 40 1 1 0\n\
+             vbegin 0 0 0 90 45 10\nvbegin 10 1 1 90 45 10\n\
+             vbegin 20 2 2 0 10 0\nvbegin 30 3 3 0 10 0\nvbegin 40 4 4 0 10 0\n\
+             age 500\nexit 600 0\nage 1700\nend 1800 1\nage 4000\nexit 4100 2\n\
+             exit 4200 3\nexit 4300 4\n",
+        );
+        let report = replay_topo(&d).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.final_snapshot.is_idle());
+        let s = report.final_snapshot.stats;
+        assert!(s.shed >= 1, "bounded gate fired");
+        assert!(s.breaker_trips >= 1, "breaker tripped");
+    }
+
+    #[test]
+    fn lifted_scalar_traces_replay_cleanly() {
+        let scalar = TraceDoc::parse(
+            "policy strict\nllc 15728640\naudit reject\ntimeout 1000\n\
+             begin 0 0 0 llc 10mb\nbegin 10 1 1 llc 99mb\nend 20 7\nend 30 0\nend 40 0\n\
+             begin 50 2 2 llc 14mb\nbegin 60 3 3 llc 14mb\nage 2000\nexit 3000 2\nexit 3010 3\n",
+        )
+        .unwrap();
+        let report = replay_lifted(&scalar).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.final_snapshot.is_idle());
+        let s = report.final_snapshot.stats;
+        assert_eq!(s.clamped, 1);
+        assert_eq!(s.rejected_ends, 2);
+        assert!(s.aged_admissions >= 1);
+    }
+
+    #[test]
+    fn a_mutated_model_is_caught_on_an_exact_fit() {
+        let d = doc("node 100 50 1000\nvbegin 0 0 0 100 0 0\n");
+        let mut oracle = TopoOracle::with_mutation(d.cfg.clone(), TopoMutation::StrictOffByOne);
+        let err = oracle
+            .apply(&d.events[0])
+            .expect_err("off-by-one model must diverge on an exact fit");
+        assert!(err.detail.contains("call effect mismatch"), "{err}");
+    }
+
+    #[test]
+    fn dram_is_a_first_class_gating_resource() {
+        let d = TopoDoc {
+            cfg: doc("node 100 50 1000\n").cfg,
+            events: vec![
+                TopoEvent::Begin {
+                    t: 0,
+                    process: 0,
+                    site: 0,
+                    demand: Demand::new(0, 0, 900),
+                },
+                TopoEvent::Begin {
+                    t: 10,
+                    process: 1,
+                    site: 1,
+                    demand: Demand::new(0, 0, 200),
+                },
+                TopoEvent::End { t: 20, pp: 0 },
+                TopoEvent::End { t: 30, pp: 1 },
+            ],
+        };
+        let report = replay_topo(&d).unwrap_or_else(|e| panic!("{e}"));
+        assert!(matches!(report.effects[1], TopoEffect::Pause { .. }));
+        assert!(report.final_snapshot.is_idle());
+    }
+}

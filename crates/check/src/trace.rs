@@ -372,8 +372,11 @@ impl TraceDoc {
 }
 
 /// An amount field: a raw byte count, or a decimal with an `mb` suffix
-/// (`10mb`, `6.3mb`).
-fn parse_amount(field: Option<&&str>, fail: &dyn Fn(&str) -> String) -> Result<u64, String> {
+/// (`10mb`, `6.3mb`). Shared with the topology trace format.
+pub(crate) fn parse_amount(
+    field: Option<&&str>,
+    fail: &dyn Fn(&str) -> String,
+) -> Result<u64, String> {
     let s = field.ok_or_else(|| fail("missing amount"))?;
     if let Some(mbs) = s.strip_suffix("mb") {
         let v: f64 = mbs.parse().map_err(|_| fail("bad mb amount"))?;

@@ -32,6 +32,13 @@
 //! mechanism behind the sub-linear overhead growth of Figure 11), and
 //! [`policy::PolicyKind::Partitioned`] prototypes the cache-partitioning
 //! extension the paper lists as future work.
+//!
+//! The scalar extension manages one load table. [`topology`], [`layer`]
+//! and [`topo`] generalize it to a machine *topology* — demand vectors
+//! over per-NUMA-node resources, layered policies with capacity
+//! guarantees, and deterministic node placement ([`topo::TopoExtension`],
+//! DESIGN.md §9) — while the scalar engine keeps serving the paper's
+//! single-socket experiments unchanged.
 
 #![warn(missing_docs)]
 
@@ -40,17 +47,25 @@ pub mod config;
 pub mod error;
 pub mod extension;
 pub mod fastpath;
+pub mod layer;
 pub mod monitor;
 pub mod policy;
 pub mod predicate;
 pub mod registry;
 pub mod snapshot;
+pub mod topo;
+pub mod topology;
 pub mod waitlist;
 
 pub use api::{mb, PpDemand, PpId, Resource, SiteId};
 pub use config::{BreakerConfig, DemandAudit, OverloadConfig, RdaConfig, ShedPolicy};
 pub use error::{InvariantKind, RdaError};
 pub use extension::{AgeOutcome, BeginOutcome, EndOutcome, RdaExtension, RdaStats};
+pub use layer::{LayerId, LayerSet, LayerSpec};
 pub use policy::PolicyKind;
 pub use predicate::Decision;
 pub use snapshot::{PpSnap, Snapshot, WaitSnap};
+pub use topo::{
+    TopoConfig, TopoError, TopoExtension, TopoPpSnap, TopoRecord, TopoSnapshot, TopoWaitSnap,
+};
+pub use topology::{Demand, NodeId, ResourceKind, ResourceSpace, TopoSpec, KIND_COUNT};

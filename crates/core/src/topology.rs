@@ -1,0 +1,302 @@
+//! Multi-resource machine topology: resource kinds, demand vectors,
+//! and per-node capacity tables.
+//!
+//! The paper's Algorithm 1 gates admission on one scalar load table.
+//! This module supplies the vocabulary that generalizes it to a
+//! *machine topology* (see DESIGN.md §9):
+//!
+//! * [`ResourceKind`] — the three constrained resources of a NUMA node:
+//!   LLC footprint, memory bandwidth, DRAM capacity;
+//! * [`ResourceSpace`] — the trait abstracting "an indexable, fixed
+//!   set of resources", implemented both by the legacy scalar
+//!   [`crate::api::Resource`] pair and by [`ResourceKind`];
+//! * [`Demand`] — a demand *vector*: one amount per resource kind, the
+//!   multi-resource successor of the scalar [`crate::api::PpDemand`];
+//! * [`NodeId`] / [`TopoSpec`] — per-node capacity tables built from an
+//!   `rda-machine` [`rda_machine::Topology`] description.
+//!
+//! The scheduling mechanism over these types lives in [`crate::topo`].
+
+use std::fmt;
+
+/// Number of resource kinds a node tracks.
+pub const KIND_COUNT: usize = 3;
+
+/// The constrained resources of one NUMA node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// Node-local last-level cache footprint, bytes.
+    Llc,
+    /// Node-local memory bandwidth, bytes/second.
+    MemBw,
+    /// Node-local DRAM capacity, bytes.
+    DramCap,
+}
+
+impl ResourceKind {
+    /// Every kind, in stable index order.
+    pub const ALL: [ResourceKind; KIND_COUNT] =
+        [ResourceKind::Llc, ResourceKind::MemBw, ResourceKind::DramCap];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(ResourceSpace::label(*self))
+    }
+}
+
+/// A fixed, indexable space of resources.
+///
+/// Everything the bookkeeping machinery needs from "a resource": how
+/// many there are, a dense index, and a stable label. The legacy scalar
+/// extension implements it for [`crate::api::Resource`] (two entries);
+/// the topology engine for [`ResourceKind`] (three per node). Code
+/// generic over `ResourceSpace` (snapshot digests, invariant sweeps)
+/// works for both.
+pub trait ResourceSpace: Copy + Eq {
+    /// Number of resources in the space.
+    const COUNT: usize;
+
+    /// Dense index in `0..COUNT`.
+    fn index(self) -> usize;
+
+    /// Inverse of [`ResourceSpace::index`].
+    ///
+    /// # Panics
+    /// If `i >= COUNT`.
+    fn from_index(i: usize) -> Self;
+
+    /// Stable lowercase label (used by trace formats).
+    fn label(self) -> &'static str;
+}
+
+impl ResourceSpace for ResourceKind {
+    const COUNT: usize = KIND_COUNT;
+
+    fn index(self) -> usize {
+        match self {
+            ResourceKind::Llc => 0,
+            ResourceKind::MemBw => 1,
+            ResourceKind::DramCap => 2,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        ResourceKind::ALL[i]
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Llc => "llc",
+            ResourceKind::MemBw => "membw",
+            ResourceKind::DramCap => "dram",
+        }
+    }
+}
+
+impl ResourceSpace for crate::api::Resource {
+    const COUNT: usize = 2;
+
+    fn index(self) -> usize {
+        match self {
+            crate::api::Resource::Llc => 0,
+            crate::api::Resource::MemBandwidth => 1,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        crate::api::Resource::ALL[i]
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            crate::api::Resource::Llc => "llc",
+            crate::api::Resource::MemBandwidth => "membw",
+        }
+    }
+}
+
+/// A demand vector: how much of each [`ResourceKind`] a progress
+/// period needs. The all-zero vector is legal (an untracked-equivalent
+/// period that always fits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Demand {
+    /// Amounts in [`ResourceKind::ALL`] order.
+    pub amounts: [u64; KIND_COUNT],
+}
+
+impl Demand {
+    /// The zero vector.
+    pub const ZERO: Demand = Demand {
+        amounts: [0; KIND_COUNT],
+    };
+
+    /// A vector from explicit per-kind amounts.
+    pub fn new(llc: u64, membw: u64, dram: u64) -> Self {
+        Demand {
+            amounts: [llc, membw, dram],
+        }
+    }
+
+    /// A pure-LLC demand (the paper's common case).
+    pub fn llc(bytes: u64) -> Self {
+        Demand::new(bytes, 0, 0)
+    }
+
+    /// The amount demanded of one kind.
+    pub fn get(&self, k: ResourceKind) -> u64 {
+        self.amounts[k.index()]
+    }
+
+    /// This vector with one component replaced.
+    pub fn with(mut self, k: ResourceKind, amount: u64) -> Self {
+        self.amounts[k.index()] = amount;
+        self
+    }
+
+    /// True when no component demands anything.
+    pub fn is_zero(&self) -> bool {
+        self.amounts.iter().all(|&a| a == 0)
+    }
+
+    /// The kinds with a nonzero component, in index order.
+    pub fn touched(&self) -> impl Iterator<Item = ResourceKind> + '_ {
+        ResourceKind::ALL
+            .into_iter()
+            .filter(move |k| self.get(*k) > 0)
+    }
+}
+
+impl fmt::Display for Demand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[llc={} membw={} dram={}]",
+            self.amounts[0], self.amounts[1], self.amounts[2]
+        )
+    }
+}
+
+/// Identifier of one NUMA node in a topology (dense, node id = index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The capacity table of a topology: per node, one capacity per
+/// [`ResourceKind`]. This is the scheduler-facing form of the
+/// descriptive [`rda_machine::Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Per-node capacities in [`ResourceKind::ALL`] order.
+    pub caps: Vec<[u64; KIND_COUNT]>,
+}
+
+impl TopoSpec {
+    /// Build from a machine topology description.
+    pub fn from_machine(t: &rda_machine::Topology) -> Self {
+        TopoSpec {
+            caps: t
+                .nodes
+                .iter()
+                .map(|n| [n.llc_bytes, n.membw_bytes, n.dram_bytes])
+                .collect(),
+        }
+    }
+
+    /// A single node with the given capacities.
+    pub fn single(llc: u64, membw: u64, dram: u64) -> Self {
+        TopoSpec {
+            caps: vec![[llc, membw, dram]],
+        }
+    }
+
+    /// `n` identical nodes.
+    pub fn uniform(n: usize, llc: u64, membw: u64, dram: u64) -> Self {
+        assert!(n >= 1, "a topology needs at least one node");
+        TopoSpec {
+            caps: vec![[llc, membw, dram]; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity of one kind on one node.
+    pub fn capacity(&self, node: NodeId, k: ResourceKind) -> u64 {
+        self.caps[node.0 as usize][k.index()]
+    }
+
+    /// The largest capacity any node offers for a kind — what the
+    /// demand auditor clamps against (a demand no node could ever hold
+    /// nominally is impossible machine-wide).
+    pub fn max_capacity(&self, k: ResourceKind) -> u64 {
+        self.caps.iter().map(|c| c[k.index()]).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Resource;
+
+    #[test]
+    fn kind_indexing_roundtrips() {
+        for k in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_index(k.index()), k);
+        }
+        assert_eq!(ResourceKind::Llc.to_string(), "llc");
+        assert_eq!(ResourceKind::DramCap.to_string(), "dram");
+    }
+
+    #[test]
+    fn legacy_resource_implements_the_space() {
+        assert_eq!(<Resource as ResourceSpace>::COUNT, 2);
+        for r in Resource::ALL {
+            assert_eq!(Resource::from_index(ResourceSpace::index(r)), r);
+        }
+        assert_eq!(ResourceSpace::label(Resource::MemBandwidth), "membw");
+    }
+
+    #[test]
+    fn demand_vector_accessors() {
+        let d = Demand::llc(10).with(ResourceKind::MemBw, 7);
+        assert_eq!(d.get(ResourceKind::Llc), 10);
+        assert_eq!(d.get(ResourceKind::MemBw), 7);
+        assert_eq!(d.get(ResourceKind::DramCap), 0);
+        assert!(!d.is_zero());
+        assert!(Demand::ZERO.is_zero());
+        let touched: Vec<ResourceKind> = d.touched().collect();
+        assert_eq!(touched, vec![ResourceKind::Llc, ResourceKind::MemBw]);
+        assert_eq!(d.to_string(), "[llc=10 membw=7 dram=0]");
+    }
+
+    #[test]
+    fn spec_from_machine_topology() {
+        let m = rda_machine::MachineConfig::xeon_e5_2420();
+        let spec = TopoSpec::from_machine(&rda_machine::Topology::dual_socket(&m));
+        assert_eq!(spec.node_count(), 2);
+        assert_eq!(spec.capacity(NodeId(0), ResourceKind::Llc), m.llc_bytes);
+        assert_eq!(spec.max_capacity(ResourceKind::Llc), m.llc_bytes);
+        assert_eq!(
+            spec.capacity(NodeId(1), ResourceKind::DramCap),
+            m.dram_bytes / 2
+        );
+    }
+
+    #[test]
+    fn max_capacity_over_heterogeneous_nodes() {
+        let spec = TopoSpec {
+            caps: vec![[10, 1, 5], [4, 9, 5]],
+        };
+        assert_eq!(spec.max_capacity(ResourceKind::Llc), 10);
+        assert_eq!(spec.max_capacity(ResourceKind::MemBw), 9);
+        assert_eq!(spec.max_capacity(ResourceKind::DramCap), 5);
+    }
+}

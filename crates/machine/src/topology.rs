@@ -1,0 +1,123 @@
+//! Machine topology description: NUMA nodes and their per-node
+//! resource envelopes.
+//!
+//! The paper's prototype manages one shared LLC on one socket. A
+//! production multi-tenant box is a *topology*: several NUMA nodes,
+//! each with its own slice of last-level cache, memory bandwidth, and
+//! DRAM capacity. This module only *describes* that shape — the
+//! scheduling mechanism that places demand vectors onto nodes lives in
+//! `rda-core` (`TopoExtension`), keeping the machine crate free of
+//! policy.
+//!
+//! A [`Topology`] with a single node built from a [`MachineConfig`] is
+//! the compatibility anchor: every multi-node code path must degenerate
+//! to the paper's single-socket behaviour on it (see DESIGN.md §9).
+
+use crate::config::MachineConfig;
+
+/// The resource envelope of one NUMA node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Last-level cache capacity local to the node, bytes.
+    pub llc_bytes: u64,
+    /// Local memory bandwidth, bytes/second (stored as integral B/s).
+    pub membw_bytes: u64,
+    /// Local DRAM capacity, bytes.
+    pub dram_bytes: u64,
+}
+
+/// A machine as a set of NUMA nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// The nodes; node id = index.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// A single-node topology mirroring a [`MachineConfig`] — the
+    /// compatibility shape: one LLC, one bandwidth pool, one DRAM pool.
+    pub fn single(m: &MachineConfig) -> Self {
+        Topology {
+            nodes: vec![NodeSpec {
+                llc_bytes: m.llc_bytes,
+                membw_bytes: m.dram_peak_bw as u64,
+                dram_bytes: m.dram_bytes,
+            }],
+        }
+    }
+
+    /// `n` identical nodes.
+    pub fn uniform(n: usize, node: NodeSpec) -> Self {
+        assert!(n >= 1, "a topology needs at least one node");
+        Topology {
+            nodes: vec![node; n],
+        }
+    }
+
+    /// A two-socket box built from one socket's [`MachineConfig`]: each
+    /// node carries the full per-socket LLC and an even split of the
+    /// machine's bandwidth and DRAM (interleaved channels halved).
+    pub fn dual_socket(m: &MachineConfig) -> Self {
+        Topology::uniform(
+            2,
+            NodeSpec {
+                llc_bytes: m.llc_bytes,
+                membw_bytes: (m.dram_peak_bw as u64) / 2,
+                dram_bytes: m.dram_bytes / 2,
+            },
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for the degenerate (but valid) empty description.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True for the single-node compatibility shape.
+    pub fn is_single_node(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_mirrors_the_machine() {
+        let m = MachineConfig::xeon_e5_2420();
+        let t = Topology::single(&m);
+        assert!(t.is_single_node());
+        assert_eq!(t.nodes[0].llc_bytes, m.llc_bytes);
+        assert_eq!(t.nodes[0].membw_bytes, m.dram_peak_bw as u64);
+        assert_eq!(t.nodes[0].dram_bytes, m.dram_bytes);
+    }
+
+    #[test]
+    fn dual_socket_splits_shared_pools() {
+        let m = MachineConfig::xeon_e5_2420();
+        let t = Topology::dual_socket(&m);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.nodes[0], t.nodes[1]);
+        assert_eq!(t.nodes[0].llc_bytes, m.llc_bytes, "LLC is per socket");
+        assert_eq!(t.nodes[0].dram_bytes, m.dram_bytes / 2);
+    }
+
+    #[test]
+    fn uniform_replicates() {
+        let n = NodeSpec {
+            llc_bytes: 1,
+            membw_bytes: 2,
+            dram_bytes: 3,
+        };
+        let t = Topology::uniform(3, n);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_single_node());
+        assert!(t.nodes.iter().all(|&x| x == n));
+    }
+}

@@ -28,6 +28,7 @@ pub mod faults;
 pub mod overhead;
 pub mod runner;
 pub mod system;
+pub mod topo_traffic;
 pub mod traffic;
 
 pub use config::SimConfig;
@@ -38,6 +39,10 @@ pub use runner::{
     SweepGrid, SweepResult,
 };
 pub use system::SystemSim;
+pub use topo_traffic::{
+    run_topo_cells, topo_sweep_digest, TopoCall, TopoCell, TopoCellRecord, TopoClass,
+    TopoTrafficConfig, TopoTrafficResult, TopoTrafficSim,
+};
 pub use traffic::{
     ArrivalPattern, TrafficConfig, TrafficPlan, TrafficResult, TrafficSim, TRAFFIC_STREAM,
 };

@@ -638,6 +638,7 @@ impl SystemSim {
         }
         let sample = rda_trace::OccupancySample {
             t_cycles: self.now.cycles(),
+            node: 0,
             usage: self.rda.usage(rda_core::Resource::Llc),
             overflow: self.rda.overflow_usage(rda_core::Resource::Llc),
             waitlisted: self.rda.waitlist_len(rda_core::Resource::Llc) as u32,

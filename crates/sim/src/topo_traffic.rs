@@ -1,0 +1,900 @@
+//! Open-system traffic over a NUMA topology with layered policies.
+//!
+//! The topology analogue of [`crate::traffic`]: the same deterministic
+//! arrival machinery ([`TrafficPlan`] — gap/thin/class/service variates
+//! plus pre-drawn backoff jitter, so the schedule is a pure function of
+//! `(config, seed)`), but each demand class carries a full
+//! [`Demand`] *vector* and a [`LayerId`], and the requests drive a
+//! [`TopoExtension`] instead of the scalar engine. Requests therefore
+//! exercise everything the tentpole added: multi-component audits,
+//! deterministic least-loaded placement, per-node waitlists and
+//! breakers, and cross-layer capacity guarantees — under overload and
+//! composed fault injection.
+//!
+//! With [`TopoTrafficConfig::record_calls`] set, the exact
+//! [`TopoCall`] sequence is retained so `rda-check` can replay the
+//! whole run through its topology reference model; with
+//! [`TopoTrafficConfig::sample_occupancy`] set, the run installs a
+//! [`rda_trace::TraceSink`] and samples **per-node** occupancy counter
+//! tracks on every control tick.
+//!
+//! [`run_topo_cells`] shards a grid of such runs across scoped threads
+//! with per-cell derived seeds and grid-order aggregation, so sweep
+//! digests are bit-identical at any thread count — the property the
+//! integration suite pins serial vs 8 threads.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::faults::{FaultConfig, FaultPlan};
+use crate::traffic::{ArrivalPattern, TrafficConfig, TrafficPlan};
+use rda_core::{
+    BeginOutcome, Demand, LayerId, NodeId, PpId, RdaStats, ResourceKind, TopoConfig, TopoError,
+    TopoExtension,
+};
+use rda_sched::ProcessId;
+use rda_simcore::{Fnv1a64, SimTime, SplitMix64};
+use rda_trace::{Log2Hist, OccupancySample, TraceConfig, TraceReport, TraceSink};
+
+/// One demand class of the topology arrival mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoClass {
+    /// The full demand vector a request of this class declares.
+    pub demand: Demand,
+    /// Relative weight in the class-pick distribution.
+    pub weight: f64,
+    /// The layer processes of this class are assigned to.
+    pub layer: LayerId,
+}
+
+/// Everything the topology traffic engine needs besides the
+/// [`TopoConfig`].
+#[derive(Debug, Clone)]
+pub struct TopoTrafficConfig {
+    /// The arrival process.
+    pub pattern: ArrivalPattern,
+    /// Length of the arrival window, simulated seconds.
+    pub duration_secs: f64,
+    /// Simulated clock frequency (cycles per second).
+    pub cycles_per_sec: f64,
+    /// Demand classes; the class index doubles as the static call site.
+    pub classes: Vec<TopoClass>,
+    /// Mean of the exponential service-time distribution, cycles.
+    pub mean_service_cycles: f64,
+    /// Total tries per request before a shed request fails permanently.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff, cycles.
+    pub backoff_base_cycles: u64,
+    /// Period of the aging/deadline/breaker tick (`0` disables ticks).
+    pub age_tick_cycles: u64,
+    /// Retain the exact [`TopoCall`] sequence for differential replay.
+    pub record_calls: bool,
+    /// Install a trace sink and sample per-node occupancy every tick.
+    pub sample_occupancy: bool,
+}
+
+impl TopoTrafficConfig {
+    /// A two-tenant default: a best-effort batch class on layer 0 and a
+    /// smaller latency class on layer 1, both multi-resource.
+    pub fn two_tenant(rate_per_sec: f64, duration_secs: f64) -> Self {
+        TopoTrafficConfig {
+            pattern: ArrivalPattern::Poisson { rate_per_sec },
+            duration_secs,
+            cycles_per_sec: 1.9e9,
+            classes: vec![
+                TopoClass {
+                    demand: Demand::new(2 << 20, 400, 64 << 20),
+                    weight: 0.6,
+                    layer: LayerId(0),
+                },
+                TopoClass {
+                    demand: Demand::new(512 << 10, 900, 16 << 20),
+                    weight: 0.4,
+                    layer: LayerId(1),
+                },
+            ],
+            mean_service_cycles: 3.8e6,
+            max_attempts: 3,
+            backoff_base_cycles: 1_900_000,
+            age_tick_cycles: 950_000,
+            record_calls: false,
+            sample_occupancy: false,
+        }
+    }
+
+    /// The scalar configuration the shared plan generator runs on —
+    /// same pattern, same class weights, same variate count per
+    /// candidate, so the schedule is identical to what a scalar engine
+    /// with these weights would see.
+    fn scalar(&self) -> TrafficConfig {
+        TrafficConfig {
+            pattern: self.pattern,
+            duration_secs: self.duration_secs,
+            cycles_per_sec: self.cycles_per_sec,
+            demand_classes: self
+                .classes
+                .iter()
+                .map(|c| (primary_of(c.demand).1, c.weight))
+                .collect(),
+            mean_service_cycles: self.mean_service_cycles,
+            max_attempts: self.max_attempts,
+            backoff_base_cycles: self.backoff_base_cycles,
+            age_tick_cycles: self.age_tick_cycles,
+            record_calls: false,
+        }
+    }
+}
+
+/// The first touched component of a demand vector (LLC when the vector
+/// is empty) — what retry notes and plan amounts are keyed on.
+fn primary_of(d: Demand) -> (ResourceKind, u64) {
+    for k in ResourceKind::ALL {
+        if d.get(k) > 0 {
+            return (k, d.get(k));
+        }
+    }
+    (ResourceKind::Llc, 0)
+}
+
+/// One call into the topology extension, in execution order — the
+/// replayable record `rda-check` turns into a `TopoDoc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoCall {
+    /// A `pp_begin` with a full demand vector.
+    Begin {
+        /// Call time.
+        now: SimTime,
+        /// Calling process.
+        process: ProcessId,
+        /// Static call site.
+        site: rda_core::SiteId,
+        /// Declared (possibly fault-inflated) demand vector.
+        demand: Demand,
+    },
+    /// A `pp_end`.
+    End {
+        /// Call time.
+        now: SimTime,
+        /// The period being completed.
+        pp: PpId,
+    },
+    /// A `process_exit`.
+    Exit {
+        /// Call time.
+        now: SimTime,
+        /// The dying process.
+        process: ProcessId,
+    },
+    /// An `age_waitlist` control tick.
+    Age {
+        /// Call time.
+        now: SimTime,
+    },
+    /// A client-side retry note.
+    Retry {
+        /// Call time.
+        now: SimTime,
+        /// Retrying process.
+        process: ProcessId,
+        /// Static call site.
+        site: rda_core::SiteId,
+        /// Resource kind the retry is attributed to.
+        kind: ResourceKind,
+    },
+}
+
+/// Outcome of one topology traffic run.
+#[derive(Debug, Clone)]
+pub struct TopoTrafficResult {
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests that finished their service.
+    pub completed: u64,
+    /// Requests shed past their retry budget.
+    pub failed: u64,
+    /// Requests expired past their deadline while waitlisted.
+    pub expired: u64,
+    /// Requests whose process was fault-killed holding a period.
+    pub killed: u64,
+    /// Stuck waiters deterministically reclaimed via `process_exit`.
+    pub stranded: u64,
+    /// Client-side retries issued.
+    pub retries: u64,
+    /// Final extension counters.
+    pub rda: RdaStats,
+    /// End-to-end sojourn of every completed request, cycles.
+    pub sojourn: Log2Hist,
+    /// Completed requests per simulated second of the arrival window.
+    pub goodput_per_sec: f64,
+    /// Whether the extension drained to the idle state (all books
+    /// exactly zero on every node) after the last terminal event.
+    pub drained_idle: bool,
+    /// Digest of the drained final snapshot.
+    pub final_snapshot_digest: u64,
+    /// Exact call sequence (`Some` iff
+    /// [`TopoTrafficConfig::record_calls`]).
+    pub calls: Option<Vec<TopoCall>>,
+    /// Per-node trace report (`Some` iff
+    /// [`TopoTrafficConfig::sample_occupancy`]).
+    pub trace: Option<TraceReport>,
+}
+
+impl TopoTrafficResult {
+    /// Order-independent FNV digest of everything the run decided.
+    /// Equal for the same `(config, seed)` on any machine and any
+    /// sweep thread count.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        for v in [
+            self.arrivals,
+            self.completed,
+            self.failed,
+            self.expired,
+            self.killed,
+            self.stranded,
+            self.retries,
+            self.final_snapshot_digest,
+            self.drained_idle as u64,
+        ] {
+            h.write_u64(v);
+        }
+        for v in [
+            self.rda.begins,
+            self.rda.ends,
+            self.rda.admitted,
+            self.rda.paused,
+            self.rda.resumed,
+            self.rda.max_waitlist,
+            self.rda.oversized_admits,
+            self.rda.reclaimed,
+            self.rda.clamped,
+            self.rda.aged_admissions,
+            self.rda.rejected_ends,
+            self.rda.shed,
+            self.rda.expired,
+            self.rda.retried,
+            self.rda.breaker_trips,
+        ] {
+            h.write_u64(v);
+        }
+        for (upper, n) in self.sojourn.nonzero_buckets() {
+            h.write_u64(upper);
+            h.write_u64(n);
+        }
+        h.write_u64(self.sojourn.max());
+        h.finish()
+    }
+}
+
+/// The open-system topology traffic simulation.
+#[derive(Debug, Clone)]
+pub struct TopoTrafficSim {
+    traffic: TopoTrafficConfig,
+    topo: TopoConfig,
+    faults: Option<FaultConfig>,
+}
+
+#[derive(Debug)]
+struct QEntry {
+    t: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival { req: usize },
+    Retry { req: usize },
+    Complete { req: usize, pp: Option<PpId> },
+    Tick,
+}
+
+struct Engine<'a> {
+    cfg: &'a TopoTrafficConfig,
+    plan: &'a TrafficPlan,
+    faults: FaultPlan,
+    ext: TopoExtension,
+    heap: BinaryHeap<QEntry>,
+    waiting: BTreeMap<u64, usize>,
+    attempts: Vec<u32>,
+    pending: usize,
+    seq: u64,
+    now: SimTime,
+    completed: u64,
+    failed: u64,
+    expired: u64,
+    killed: u64,
+    stranded: u64,
+    retries: u64,
+    sojourn: Log2Hist,
+    calls: Option<Vec<TopoCall>>,
+}
+
+impl TopoTrafficSim {
+    /// A topology traffic run. Per-class layers are applied to the
+    /// config's [`rda_core::LayerSet`] per request at run time.
+    pub fn new(traffic: TopoTrafficConfig, topo: TopoConfig) -> Self {
+        TopoTrafficSim {
+            traffic,
+            topo,
+            faults: None,
+        }
+    }
+
+    /// Inject faults (expanded over the synthetic per-request workload,
+    /// exactly like the scalar engine).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Execute the run for `seed`. Deterministic in `(config, seed)`.
+    pub fn run(&self, seed: u64) -> TopoTrafficResult {
+        let plan = TrafficPlan::generate(&self.traffic.scalar(), seed);
+        let fault_plan = match &self.faults {
+            Some(fc) => FaultPlan::generate(&plan.fault_spec(), fc, seed),
+            None => FaultPlan::none(),
+        };
+        // Materialise per-class layer membership: request i is process
+        // i, so class layers become explicit LayerSet assignments
+        // (ascending process ids keep the insert O(1) amortised).
+        let mut topo = self.topo.clone();
+        for (i, r) in plan.requests.iter().enumerate() {
+            let layer = self.traffic.classes[r.site as usize].layer;
+            if layer != LayerId(0) {
+                topo.layers.assign(i as u32, layer);
+            }
+        }
+        let mut ext = TopoExtension::new(topo);
+        if self.traffic.sample_occupancy {
+            ext.install_trace(TraceSink::new(TraceConfig::default()));
+        }
+        let mut eng = Engine {
+            cfg: &self.traffic,
+            plan: &plan,
+            faults: fault_plan,
+            ext,
+            heap: BinaryHeap::with_capacity(plan.len() * 2 + 4),
+            waiting: BTreeMap::new(),
+            attempts: vec![0; plan.len()],
+            pending: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            completed: 0,
+            failed: 0,
+            expired: 0,
+            killed: 0,
+            stranded: 0,
+            retries: 0,
+            sojourn: Log2Hist::new(),
+            calls: if self.traffic.record_calls {
+                Some(Vec::new())
+            } else {
+                None
+            },
+        };
+        for (i, r) in plan.requests.iter().enumerate() {
+            eng.push(r.arrival, Ev::Arrival { req: i });
+        }
+        if self.traffic.age_tick_cycles > 0 {
+            eng.push_tick(self.traffic.age_tick_cycles);
+        }
+        eng.drive();
+        eng.ext
+            .check_invariants()
+            .expect("topology traffic run left the extension inconsistent");
+        let rda = eng.ext.stats();
+        let snapshot = eng.ext.snapshot();
+        let arrivals = plan.len() as u64;
+        debug_assert_eq!(
+            eng.completed + eng.failed + eng.expired + eng.killed + eng.stranded,
+            arrivals,
+            "every request must reach exactly one terminal state"
+        );
+        TopoTrafficResult {
+            arrivals,
+            completed: eng.completed,
+            failed: eng.failed,
+            expired: eng.expired,
+            killed: eng.killed,
+            stranded: eng.stranded,
+            retries: eng.retries,
+            rda,
+            sojourn: eng.sojourn,
+            goodput_per_sec: eng.completed as f64 / self.traffic.duration_secs,
+            drained_idle: snapshot.is_idle(),
+            final_snapshot_digest: snapshot.digest(),
+            calls: eng.calls,
+            trace: eng.ext.take_trace().map(TraceSink::into_report),
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn push(&mut self, t: u64, ev: Ev) {
+        if !matches!(ev, Ev::Tick) {
+            self.pending += 1;
+        }
+        self.heap.push(QEntry {
+            t,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    fn push_tick(&mut self, t: u64) {
+        self.heap.push(QEntry {
+            t,
+            seq: self.seq,
+            ev: Ev::Tick,
+        });
+        self.seq += 1;
+    }
+
+    fn record(&mut self, call: TopoCall) {
+        if let Some(calls) = &mut self.calls {
+            calls.push(call);
+        }
+    }
+
+    fn pid(req: usize) -> ProcessId {
+        ProcessId(req as u32)
+    }
+
+    fn declared_demand(&self, req: usize) -> Demand {
+        let r = &self.plan.requests[req];
+        let base = self.cfg.classes[r.site as usize].demand;
+        let factor = self.faults.phase(req, 0).demand_factor;
+        if factor == 1.0 {
+            return base;
+        }
+        let mut d = Demand::default();
+        for k in ResourceKind::ALL {
+            let a = base.get(k);
+            if a > 0 {
+                d = d.with(k, (a as f64 * factor) as u64);
+            }
+        }
+        d
+    }
+
+    fn sample_occupancy(&mut self) {
+        if self.ext.trace().is_none() {
+            return;
+        }
+        let in_flight = self.pending as u32;
+        let samples: Vec<OccupancySample> = (0..self.ext.node_count())
+            .map(|n| {
+                let node = NodeId(n as u32);
+                OccupancySample {
+                    t_cycles: self.now.cycles(),
+                    node: n as u32,
+                    usage: self.ext.usage(node, ResourceKind::Llc),
+                    overflow: self.ext.overflow_usage(node, ResourceKind::Llc),
+                    waitlisted: self.ext.waitlist_len(node) as u32,
+                    busy_cores: in_flight,
+                }
+            })
+            .collect();
+        if let Some(sink) = self.ext.trace_mut() {
+            for s in samples {
+                sink.record_occupancy(s);
+            }
+        }
+    }
+
+    fn drive(&mut self) {
+        let can_unstick = self.ext.config().waitlist_timeout_cycles.is_some()
+            || self
+                .ext
+                .config()
+                .overload
+                .as_ref()
+                .is_some_and(|o| o.deadline_cycles.is_some());
+        let overload_on = self.ext.config().overload.is_some();
+        loop {
+            while let Some(e) = self.heap.pop() {
+                self.now = SimTime::from_cycles(e.t);
+                match e.ev {
+                    Ev::Arrival { req } => {
+                        self.pending -= 1;
+                        self.attempt(req);
+                    }
+                    Ev::Retry { req } => {
+                        self.pending -= 1;
+                        let r = &self.plan.requests[req];
+                        let site = rda_core::SiteId(r.site);
+                        let (kind, _) = primary_of(self.cfg.classes[r.site as usize].demand);
+                        self.ext.note_retry(Self::pid(req), site, kind, self.now);
+                        self.record(TopoCall::Retry {
+                            now: self.now,
+                            process: Self::pid(req),
+                            site,
+                            kind,
+                        });
+                        self.retries += 1;
+                        self.attempt(req);
+                    }
+                    Ev::Complete { req, pp } => {
+                        self.pending -= 1;
+                        self.complete(req, pp);
+                    }
+                    Ev::Tick => {
+                        let now = self.now;
+                        self.sample_occupancy();
+                        let out = self.ext.age_waitlist(now);
+                        if overload_on || !out.resumed.is_empty() {
+                            self.record(TopoCall::Age { now });
+                        }
+                        for (pp, _) in out.resumed {
+                            self.wake(pp);
+                        }
+                        for (pp, _) in out.expired {
+                            let req = self
+                                .waiting
+                                .remove(&pp.0)
+                                .expect("expired period not waitlisted");
+                            debug_assert!(self.attempts[req] < u32::MAX);
+                            self.expired += 1;
+                        }
+                        if self.pending > 0 || (!self.waiting.is_empty() && can_unstick) {
+                            self.push_tick(e.t + self.cfg.age_tick_cycles);
+                        }
+                    }
+                }
+            }
+            if self.waiting.is_empty() {
+                break;
+            }
+            let stuck: Vec<(u64, usize)> = self.waiting.iter().map(|(&k, &v)| (k, v)).collect();
+            for (ppid, req) in stuck {
+                if self.waiting.remove(&ppid).is_none() {
+                    continue;
+                }
+                self.record(TopoCall::Exit {
+                    now: self.now,
+                    process: Self::pid(req),
+                });
+                let resumed = self.ext.process_exit(Self::pid(req), self.now);
+                self.stranded += 1;
+                for (pp, _) in resumed {
+                    self.wake(pp);
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, req: usize) {
+        let r = &self.plan.requests[req];
+        let demand = self.declared_demand(req);
+        let (service, site) = (r.service, rda_core::SiteId(r.site));
+        self.record(TopoCall::Begin {
+            now: self.now,
+            process: Self::pid(req),
+            site,
+            demand,
+        });
+        match self.ext.pp_begin(Self::pid(req), site, demand, self.now) {
+            Ok(BeginOutcome::Run { pp, .. }) => {
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: Some(pp) });
+            }
+            Ok(BeginOutcome::Bypass) => {
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: None });
+            }
+            Ok(BeginOutcome::Pause { pp, shed }) => {
+                if let Some(victim) = shed {
+                    let vreq = self
+                        .waiting
+                        .remove(&victim.0)
+                        .expect("shed victim not waitlisted");
+                    self.retry_or_fail(vreq);
+                }
+                if self.faults.kill_at(req) == Some(0) {
+                    self.record(TopoCall::Exit {
+                        now: self.now,
+                        process: Self::pid(req),
+                    });
+                    let resumed = self.ext.process_exit(Self::pid(req), self.now);
+                    self.killed += 1;
+                    for (woken, _) in resumed {
+                        self.wake(woken);
+                    }
+                } else {
+                    self.waiting.insert(pp.0, req);
+                }
+            }
+            Err(TopoError::WaitlistFull { .. }) | Err(TopoError::BreakerOpen { .. }) => {
+                self.retry_or_fail(req);
+            }
+            Err(_) => {
+                // Auditor refusal: the caller falls back to untracked
+                // scheduling, so the request still completes.
+                let t = self.now.cycles().saturating_add(service);
+                self.push(t, Ev::Complete { req, pp: None });
+            }
+        }
+    }
+
+    fn wake(&mut self, pp: PpId) {
+        let req = self
+            .waiting
+            .remove(&pp.0)
+            .expect("resumed period not waitlisted");
+        let t = self
+            .now
+            .cycles()
+            .saturating_add(self.plan.requests[req].service);
+        self.push(t, Ev::Complete { req, pp: Some(pp) });
+    }
+
+    fn retry_or_fail(&mut self, req: usize) {
+        let a = self.attempts[req];
+        if a + 1 < self.cfg.max_attempts {
+            self.attempts[req] = a + 1;
+            let backoff = self
+                .cfg
+                .backoff_base_cycles
+                .saturating_mul(1u64.checked_shl(a).unwrap_or(u64::MAX));
+            let jitter = self.plan.requests[req].jitter[a as usize];
+            let t = self
+                .now
+                .cycles()
+                .saturating_add(backoff)
+                .saturating_add(jitter);
+            self.push(t, Ev::Retry { req });
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    fn complete(&mut self, req: usize, pp: Option<PpId>) {
+        let sojourn = self
+            .now
+            .cycles()
+            .saturating_sub(self.plan.requests[req].arrival);
+        let Some(pp) = pp else {
+            self.completed += 1;
+            self.sojourn.record(sojourn);
+            return;
+        };
+        let fault = self.faults.phase(req, 0);
+        if self.faults.kill_at(req) == Some(0) {
+            self.record(TopoCall::Exit {
+                now: self.now,
+                process: Self::pid(req),
+            });
+            let resumed = self.ext.process_exit(Self::pid(req), self.now);
+            self.killed += 1;
+            for (woken, _) in resumed {
+                self.wake(woken);
+            }
+            return;
+        }
+        if fault.leak_end {
+            self.record(TopoCall::Exit {
+                now: self.now,
+                process: Self::pid(req),
+            });
+            let resumed = self.ext.process_exit(Self::pid(req), self.now);
+            for (woken, _) in resumed {
+                self.wake(woken);
+            }
+        } else {
+            self.record(TopoCall::End { now: self.now, pp });
+            let out = self
+                .ext
+                .pp_end(pp, self.now)
+                .expect("first pp_end of a running period cannot fail");
+            for (woken, _) in out.resumed {
+                self.wake(woken);
+            }
+            if fault.double_end {
+                self.record(TopoCall::End { now: self.now, pp });
+                let second = self.ext.pp_end(pp, self.now);
+                debug_assert!(
+                    matches!(second, Err(TopoError::DoubleEnd(_))),
+                    "second pp_end must be rejected as a double end"
+                );
+            }
+        }
+        self.completed += 1;
+        self.sojourn.record(sojourn);
+    }
+}
+
+/// One cell of a topology sweep grid.
+#[derive(Debug, Clone)]
+pub struct TopoCell {
+    /// Cell label (figure category).
+    pub label: String,
+    /// The arrival configuration.
+    pub traffic: TopoTrafficConfig,
+    /// The machine topology and layer set.
+    pub topo: TopoConfig,
+    /// Optional fault injection.
+    pub faults: Option<FaultConfig>,
+}
+
+/// One executed topology sweep cell, in grid order.
+#[derive(Debug, Clone)]
+pub struct TopoCellRecord {
+    /// Grid index (stable across thread counts).
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// The derived seed this cell ran with.
+    pub seed: u64,
+    /// The run outcome (`Err` holds a panic message).
+    pub result: Result<TopoTrafficResult, String>,
+}
+
+/// Execute a grid of topology traffic cells across `threads` scoped
+/// workers (`0` = all cores). Each cell's seed is derived from
+/// `root_seed` and its grid index; records come back in grid order, so
+/// the fold below — and [`topo_sweep_digest`] — is a pure function of
+/// `(cells, root_seed)` regardless of thread count.
+pub fn run_topo_cells(cells: &[TopoCell], threads: usize, root_seed: u64) -> Vec<TopoCellRecord> {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = (if threads == 0 { auto } else { threads }).clamp(1, cells.len().max(1));
+    let slots: Vec<Mutex<Option<TopoCellRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            scope.spawn(move || {
+                for (i, cell) in cells.iter().enumerate() {
+                    if i % workers != w {
+                        continue;
+                    }
+                    let seed = SplitMix64::derive_stream(root_seed, i as u64);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut sim = TopoTrafficSim::new(cell.traffic.clone(), cell.topo.clone());
+                        if let Some(fc) = cell.faults {
+                            sim = sim.with_faults(fc);
+                        }
+                        sim.run(seed)
+                    }))
+                    .map_err(|p| {
+                        p.downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "panic".to_string())
+                    });
+                    *slots[i].lock().unwrap() = Some(TopoCellRecord {
+                        index: i,
+                        label: cell.label.clone(),
+                        seed,
+                        result: outcome,
+                    });
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every cell has a record"))
+        .collect()
+}
+
+/// Fold a topology sweep into one digest (grid order, so equal digests
+/// ⇔ behaviourally identical sweeps on any thread count).
+pub fn topo_sweep_digest(records: &[TopoCellRecord]) -> u64 {
+    let mut h = Fnv1a64::new();
+    for r in records {
+        h.write_usize(r.index);
+        match &r.result {
+            Ok(res) => h.write_u64(res.digest()),
+            Err(msg) => h.write_str(msg),
+        };
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_core::{
+        BreakerConfig, LayerSet, LayerSpec, OverloadConfig, PolicyKind, ShedPolicy, TopoSpec,
+    };
+
+    fn two_node_cfg() -> TopoConfig {
+        let layers = LayerSet::new(vec![
+            LayerSpec::new("batch", PolicyKind::Strict),
+            LayerSpec::new("latency", PolicyKind::Strict)
+                .with_guarantee(Demand::new(4 << 20, 1000, 64 << 20)),
+        ]);
+        TopoConfig::new(
+            TopoSpec::uniform(2, 15_360 << 10, 6_000, 1 << 30),
+            layers,
+        )
+        .with_waitlist_timeout_cycles(40_000_000)
+    }
+
+    fn overload() -> OverloadConfig {
+        OverloadConfig {
+            waitlist_cap: 16,
+            shed_policy: ShedPolicy::RejectNewest,
+            deadline_cycles: Some(40_000_000),
+            breaker: Some(BreakerConfig {
+                high_water: 14 << 20,
+                low_water: 8 << 20,
+                trip_after: 4,
+                recover_after: 4,
+                shed_min_demand: 1 << 20,
+            }),
+        }
+    }
+
+    #[test]
+    fn underload_completes_and_drains_to_zero() {
+        let sim = TopoTrafficSim::new(
+            TopoTrafficConfig::two_tenant(300.0, 0.5),
+            two_node_cfg().with_overload(overload()),
+        );
+        let r = sim.run(11);
+        assert!(r.arrivals > 0);
+        assert_eq!(r.completed, r.arrivals, "underload must not shed: {r:?}");
+        assert!(r.drained_idle, "books must return to zero after drain");
+    }
+
+    #[test]
+    fn overload_with_faults_is_deterministic_and_sheds() {
+        let mut traffic = TopoTrafficConfig::two_tenant(20_000.0, 0.05);
+        traffic.record_calls = true;
+        let sim = TopoTrafficSim::new(traffic, two_node_cfg().with_overload(overload()))
+            .with_faults(FaultConfig::uniform(0.1));
+        let a = sim.run(5);
+        let b = sim.run(5);
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.rda.shed > 0, "overload must shed: {a:?}");
+        assert!(a.drained_idle, "books must drain even under faults");
+        assert!(a.calls.as_ref().is_some_and(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn occupancy_sampling_emits_per_node_tracks() {
+        let mut traffic = TopoTrafficConfig::two_tenant(2_000.0, 0.1);
+        traffic.sample_occupancy = true;
+        let r = TopoTrafficSim::new(traffic, two_node_cfg().with_overload(overload())).run(3);
+        let trace = r.trace.expect("sampling installs a sink");
+        let nodes: std::collections::BTreeSet<u32> =
+            trace.occupancy.iter().map(|s| s.node).collect();
+        assert_eq!(nodes.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn sweep_digest_is_thread_invariant() {
+        let cells: Vec<TopoCell> = (0..6)
+            .map(|i| TopoCell {
+                label: format!("cell{i}"),
+                traffic: TopoTrafficConfig::two_tenant(4_000.0 + 1_000.0 * i as f64, 0.05),
+                topo: two_node_cfg().with_overload(overload()),
+                faults: (i % 2 == 0).then(|| FaultConfig::uniform(0.05)),
+            })
+            .collect();
+        let serial = topo_sweep_digest(&run_topo_cells(&cells, 1, 7));
+        let parallel = topo_sweep_digest(&run_topo_cells(&cells, 8, 7));
+        assert_eq!(serial, parallel, "sweep must be a pure function of (cells, seed)");
+    }
+}

@@ -9,6 +9,10 @@
 /// allocates at all).
 pub const NO_PP: u64 = u64::MAX;
 
+/// Sentinel node id for events with no placed node (a `Begin` precedes
+/// placement; rejects and sheds never place).
+pub const NO_NODE: u32 = u32::MAX;
+
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -63,14 +67,17 @@ impl EventKind {
     }
 }
 
-/// Mirror of the core crate's resource enum, kept here so `rda-core`
-/// can depend on this crate without a cycle.
+/// Mirror of the core crate's resource enums, kept here so `rda-core`
+/// can depend on this crate without a cycle. Covers both the scalar
+/// extension's resource pair and the topology engine's per-node kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceResource {
     /// Last-level cache capacity (bytes).
     Llc,
     /// Memory bandwidth (bytes/second).
     MemBandwidth,
+    /// DRAM capacity (bytes; topology engine only).
+    DramCap,
 }
 
 impl TraceResource {
@@ -79,6 +86,7 @@ impl TraceResource {
         match self {
             TraceResource::Llc => "llc",
             TraceResource::MemBandwidth => "membw",
+            TraceResource::DramCap => "dram",
         }
     }
 }
@@ -125,6 +133,10 @@ pub struct TraceEvent {
     pub t_cycles: u64,
     /// What happened.
     pub kind: EventKind,
+    /// NUMA node the event concerns (0 on single-node machines; the
+    /// topology engine sets the placed node, [`NO_NODE`] before
+    /// placement or for events with no node).
+    pub node: u32,
     /// The calling (or exiting) process id.
     pub process: u32,
     /// Static call site of the period (0 when not applicable).
@@ -152,6 +164,7 @@ impl TraceEvent {
         TraceEvent {
             t_cycles,
             kind,
+            node: 0,
             process: 0,
             site: 0,
             pp: NO_PP,

@@ -170,13 +170,24 @@ pub fn chrome_trace_document(runs: &[LabeledReport<'_>], freq_hz: f64) -> Json {
             push_event(&mut events, run, ev, freq_hz);
         }
         for s in &run.report.occupancy {
-            let mut llc = base("C", "llc_occupancy".to_string(), "occupancy", run.pid, us(s.t_cycles, freq_hz));
+            // Node 0 keeps the scalar-era track names so existing
+            // viewer bookmarks (and the schema snapshot) are stable;
+            // additional NUMA nodes each get their own counter tracks.
+            let (llc_name, sched_name) = if s.node == 0 {
+                ("llc_occupancy".to_string(), "scheduler".to_string())
+            } else {
+                (
+                    format!("llc_occupancy/node{}", s.node),
+                    format!("scheduler/node{}", s.node),
+                )
+            };
+            let mut llc = base("C", llc_name, "occupancy", run.pid, us(s.t_cycles, freq_hz));
             llc.push((
                 "args",
                 Json::obj([("usage", num(s.usage)), ("overflow", num(s.overflow))]),
             ));
             events.push(Json::obj(llc));
-            let mut sys = base("C", "scheduler".to_string(), "occupancy", run.pid, us(s.t_cycles, freq_hz));
+            let mut sys = base("C", sched_name, "occupancy", run.pid, us(s.t_cycles, freq_hz));
             sys.push((
                 "args",
                 Json::obj([
@@ -232,16 +243,24 @@ pub fn render_text(label: &str, report: &TraceReport, freq_hz: f64) -> String {
         "  wait cycles: samples {}  p50 {}  p95 {}  max {}\n",
         w.samples, w.p50, w.p95, w.max
     ));
-    if let Some(last) = report.occupancy.last() {
-        let peak = report.occupancy.iter().map(|s| s.usage + s.overflow).max().unwrap_or(0);
-        out.push_str(&format!(
-            "  occupancy: {} samples ({} dropped), peak {} B, final {} B (+{} B overflow)\n",
-            report.occupancy.len(),
-            report.dropped_occupancy,
-            peak,
-            last.usage,
-            last.overflow
-        ));
+    if !report.occupancy.is_empty() {
+        let mut nodes: Vec<u32> = report.occupancy.iter().map(|s| s.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            let per: Vec<_> = report.occupancy.iter().filter(|s| s.node == node).collect();
+            let peak = per.iter().map(|s| s.usage + s.overflow).max().unwrap_or(0);
+            let last = per.last().expect("non-empty by construction");
+            out.push_str(&format!(
+                "  occupancy[node{}]: {} samples ({} dropped), peak {} B, final {} B (+{} B overflow)\n",
+                node,
+                per.len(),
+                report.dropped_occupancy,
+                peak,
+                last.usage,
+                last.overflow
+            ));
+        }
     }
     out.push_str(&format!(
         "-- events (showing {} of {}) --\n",
@@ -319,6 +338,7 @@ mod tests {
         sink.record(reject);
         sink.record_occupancy(OccupancySample {
             t_cycles: 1000,
+            node: 0,
             usage: 13_096,
             overflow: 0,
             waitlisted: 1,
@@ -395,6 +415,6 @@ mod tests {
         assert!(text.contains("wait cycles: samples 1"));
         assert!(text.contains("reason=demand_overflow"));
         assert!(text.contains("waited=750cy"));
-        assert!(text.contains("occupancy: 1 samples"));
+        assert!(text.contains("occupancy[node0]: 1 samples"));
     }
 }

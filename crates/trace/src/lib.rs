@@ -38,7 +38,7 @@ pub mod hist;
 pub mod ring;
 pub mod sink;
 
-pub use event::{EventKind, RejectKind, TraceEvent, TraceResource, NO_PP};
+pub use event::{EventKind, RejectKind, TraceEvent, TraceResource, NO_NODE, NO_PP};
 pub use export::{chrome_trace_document, render_text, LabeledReport};
 pub use hist::Log2Hist;
 pub use ring::Ring;

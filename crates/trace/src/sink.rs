@@ -31,6 +31,9 @@ impl Default for TraceConfig {
 pub struct OccupancySample {
     /// Logical timestamp in simulated cycles.
     pub t_cycles: u64,
+    /// NUMA node the sample describes (0 on single-node machines, so
+    /// scalar-era traces keep their original track layout).
+    pub node: u32,
     /// Bytes accounted in the nominal LLC load table.
     pub usage: u64,
     /// Bytes accounted in the aging overflow bucket.
@@ -316,6 +319,7 @@ mod tests {
         for t in 0..5u64 {
             sink.record_occupancy(OccupancySample {
                 t_cycles: t,
+                node: 0,
                 usage: t * 10,
                 overflow: 0,
                 waitlisted: 0,
