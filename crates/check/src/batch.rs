@@ -1,0 +1,289 @@
+//! Differential properties of the batched admission path.
+//!
+//! [`RdaExtension::pp_begin_batch`] promises *fixed serial order*
+//! semantics: a batch of same-tick `pp_begin`s must leave the engine in
+//! exactly the state — outcomes, both accounting buckets, waitlist
+//! order, every stats counter, the memoised-decision cache — that the
+//! same calls issued one at a time would. [`check_batch_equivalence`]
+//! checks that promise bit-for-bit over random fault + overload
+//! schedules (the overload third of the seed space exercises the
+//! serial fallback inside the batch call; the rest exercises the real
+//! one-table-read fast path).
+//!
+//! Separately, the waitlist drain in `rda-core` was rewritten to gate
+//! on each entry's *stored accounted demand* instead of a registry
+//! lookup per probe. [`check_headscan_property`] re-implements the
+//! classical head scan from snapshot data alone and demands the drain
+//! wake exactly the entries it predicts, in the same order.
+
+use crate::trace::{TraceDoc, TraceEvent};
+use rda_core::predicate::{decide, Decision};
+use rda_core::{
+    BeginRequest, PpDemand, PpId, RdaConfig, RdaExtension, Resource, SiteId,
+};
+use rda_machine::ReuseLevel;
+use rda_sched::ProcessId;
+use rda_simcore::SimTime;
+
+/// Quantise every event time onto multiples of `tick`, so consecutive
+/// begins genuinely share a tick — the batched path needs same-`t`
+/// runs to form batches longer than one.
+pub fn quantize_ticks(doc: &TraceDoc, tick: u64) -> TraceDoc {
+    let mut out = doc.clone();
+    for ev in &mut out.events {
+        let t = match ev {
+            TraceEvent::Begin { t, .. }
+            | TraceEvent::End { t, .. }
+            | TraceEvent::Exit { t, .. }
+            | TraceEvent::Age { t }
+            | TraceEvent::Retry { t, .. } => t,
+        };
+        *t = *t / tick * tick;
+    }
+    out
+}
+
+fn demand_of(resource: Resource, amount: u64) -> PpDemand {
+    PpDemand {
+        resource,
+        amount,
+        reuse: ReuseLevel::High,
+    }
+}
+
+fn apply_other(ext: &mut RdaExtension, ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::End { t, pp } => {
+            format!("{:?}", ext.pp_end(PpId(pp), SimTime::from_cycles(t)))
+        }
+        TraceEvent::Exit { t, process } => format!(
+            "{:?}",
+            ext.process_exit(ProcessId(process), SimTime::from_cycles(t))
+        ),
+        TraceEvent::Age { t } => format!("{:?}", ext.age_waitlist(SimTime::from_cycles(t))),
+        TraceEvent::Retry {
+            t,
+            process,
+            site,
+            resource,
+        } => {
+            ext.note_retry(
+                ProcessId(process),
+                SiteId(site),
+                resource,
+                SimTime::from_cycles(t),
+            );
+            String::new()
+        }
+        TraceEvent::Begin { .. } => unreachable!("begins are batched by the caller"),
+    }
+}
+
+fn compare_states(serial: &RdaExtension, batched: &RdaExtension) -> Result<(), String> {
+    let (sa, sb) = (serial.snapshot(), batched.snapshot());
+    if sa != sb || sa.digest() != sb.digest() {
+        return Err(format!(
+            "snapshot mismatch (digests {:#x} vs {:#x}):\n  serial:  {sa:?}\n  batched: {sb:?}",
+            sa.digest(),
+            sb.digest()
+        ));
+    }
+    if serial.fastpath_digest() != batched.fastpath_digest() {
+        return Err(format!(
+            "fast-path cache mismatch: serial {:#x}, batched {:#x}",
+            serial.fastpath_digest(),
+            batched.fastpath_digest()
+        ));
+    }
+    if let Err(e) = batched.check_invariants() {
+        return Err(format!("batched run violated invariants: {e}"));
+    }
+    Ok(())
+}
+
+/// Replay `doc` twice — once call-by-call, once with every maximal run
+/// of consecutive same-tick begins grouped through
+/// [`RdaExtension::pp_begin_batch`] — and demand bit-identical per-call
+/// outcomes and observable state after every step.
+pub fn check_batch_equivalence(doc: &TraceDoc) -> Result<(), String> {
+    let mut serial = RdaExtension::new(doc.cfg.clone());
+    let mut batched = RdaExtension::new(doc.cfg.clone());
+    let events = &doc.events;
+    let mut i = 0;
+    while i < events.len() {
+        match events[i] {
+            TraceEvent::Begin { t, .. } => {
+                let mut reqs = Vec::new();
+                let mut j = i;
+                while j < events.len() {
+                    let TraceEvent::Begin {
+                        t: tj,
+                        process,
+                        site,
+                        resource,
+                        amount,
+                    } = events[j]
+                    else {
+                        break;
+                    };
+                    if tj != t {
+                        break;
+                    }
+                    reqs.push(BeginRequest {
+                        process: ProcessId(process),
+                        site: SiteId(site),
+                        demand: demand_of(resource, amount),
+                    });
+                    j += 1;
+                }
+                let now = SimTime::from_cycles(t);
+                let serial_out: Vec<_> = reqs
+                    .iter()
+                    .map(|r| serial.pp_begin(r.process, r.site, r.demand, now))
+                    .collect();
+                let batch_out = batched.pp_begin_batch(&reqs, now);
+                if serial_out != batch_out {
+                    return Err(format!(
+                        "outcome mismatch for batch at events {i}..{j}:\n  serial:  {serial_out:?}\n  batched: {batch_out:?}"
+                    ));
+                }
+                i = j;
+            }
+            ev => {
+                let got_serial = apply_other(&mut serial, &ev);
+                let got_batched = apply_other(&mut batched, &ev);
+                if got_serial != got_batched {
+                    return Err(format!(
+                        "outcome mismatch at event {i} ({ev:?}):\n  serial:  {got_serial}\n  batched: {got_batched}"
+                    ));
+                }
+                i += 1;
+            }
+        }
+        compare_states(&serial, &batched).map_err(|e| format!("after event {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Predict, by the classical head scan, which waiters `pp_end(pp)`
+/// would wake: release the period's accounted demand, then admit from
+/// the queue front while the predicate passes, stopping at the first
+/// entry that pauses. Built from snapshot data alone, so it shares no
+/// state with the drain under test. Returns `None` where the
+/// prediction is undefined: aging enabled (force-admissions interleave
+/// with the scan) or an end that will be rejected.
+pub fn headscan_prediction(ext: &RdaExtension, cfg: &RdaConfig, pp: PpId) -> Option<Vec<PpId>> {
+    if cfg.waitlist_timeout_cycles.is_some() {
+        return None;
+    }
+    let snap = ext.snapshot();
+    let rec = snap.periods.iter().find(|p| p.id == pp)?;
+    if !rec.admitted {
+        return None;
+    }
+    let (ri, capacity) = match rec.resource {
+        Resource::Llc => (0, cfg.llc_capacity),
+        Resource::MemBandwidth => (1, cfg.membw_capacity),
+    };
+    let mut usage = snap.usage[ri];
+    if !rec.overflow {
+        usage -= rec.accounted;
+    }
+    let mut woken = Vec::new();
+    for e in &snap.waitlists[ri] {
+        let remaining = capacity as i128 - usage as i128;
+        match decide(e.accounted, capacity, remaining, &cfg.policy) {
+            Decision::Run => {
+                usage += e.accounted;
+                woken.push(e.pp);
+            }
+            Decision::Pause => break,
+        }
+    }
+    Some(woken)
+}
+
+/// Replay `doc` through one extension and, before every `pp_end`,
+/// check the accounted-gate drain wakes exactly the entries the
+/// head-scan prediction names, in the same order.
+pub fn check_headscan_property(doc: &TraceDoc) -> Result<(), String> {
+    let mut ext = RdaExtension::new(doc.cfg.clone());
+    for (idx, ev) in doc.events.iter().enumerate() {
+        match *ev {
+            TraceEvent::Begin {
+                t,
+                process,
+                site,
+                resource,
+                amount,
+            } => {
+                let _ = ext.pp_begin(
+                    ProcessId(process),
+                    SiteId(site),
+                    demand_of(resource, amount),
+                    SimTime::from_cycles(t),
+                );
+            }
+            TraceEvent::End { t, pp } => {
+                let predicted = headscan_prediction(&ext, &doc.cfg, PpId(pp));
+                let got = ext.pp_end(PpId(pp), SimTime::from_cycles(t));
+                if let (Some(want), Ok(out)) = (predicted, got) {
+                    let woken: Vec<PpId> = out.resumed.iter().map(|&(id, _)| id).collect();
+                    if woken != want {
+                        return Err(format!(
+                            "wake-set mismatch at event {idx}: head scan predicts {want:?}, drain woke {woken:?}"
+                        ));
+                    }
+                }
+            }
+            ref other => {
+                apply_other(&mut ext, other);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_doc, GenParams};
+
+    #[test]
+    fn quantization_preserves_event_count_and_order_kinds() {
+        let doc = random_doc(1, &GenParams::default());
+        let q = quantize_ticks(&doc, 512);
+        assert_eq!(doc.events.len(), q.events.len());
+    }
+
+    #[test]
+    fn batched_begin_is_bit_identical_to_serial() {
+        let p = GenParams::default();
+        for seed in 0..150 {
+            // Coarse ticks force multi-begin batches; the raw doc also
+            // runs to keep singleton batches covered.
+            for doc in [
+                quantize_ticks(&random_doc(seed, &p), 512),
+                random_doc(seed, &p),
+            ] {
+                if let Err(e) = check_batch_equivalence(&doc) {
+                    panic!("seed {seed}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accounted_gate_drain_matches_the_head_scan() {
+        let p = GenParams {
+            procs: 4,
+            sites: 3,
+            events: 60,
+        };
+        for seed in 0..150 {
+            if let Err(e) = check_headscan_property(&random_doc(seed, &p)) {
+                panic!("seed {seed}: {e}");
+            }
+        }
+    }
+}

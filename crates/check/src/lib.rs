@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod diff;
 pub mod explore;
 pub mod gen;
@@ -51,6 +52,7 @@ pub mod topo_model;
 pub mod topo_trace;
 pub mod trace;
 
+pub use batch::{check_batch_equivalence, check_headscan_property, headscan_prediction, quantize_ticks};
 pub use diff::{replay, Divergence, Oracle, ReplayReport};
 pub use explore::{explore, Exploration, Op, Template};
 pub use gen::{fuzz, random_doc, shrink, FuzzFailure, GenParams};

@@ -25,6 +25,16 @@ pub enum Resource {
 impl Resource {
     /// Every supported resource.
     pub const ALL: [Resource; 2] = [Resource::Llc, Resource::MemBandwidth];
+
+    /// Stable index of this resource into per-resource arrays, matching
+    /// the order of [`Resource::ALL`] (and the load table's columns).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Resource::Llc => 0,
+            Resource::MemBandwidth => 1,
+        }
+    }
 }
 
 impl fmt::Display for Resource {

@@ -106,6 +106,19 @@ pub struct RdaStats {
     pub desyncs: u64,
 }
 
+/// One period request inside a [`RdaExtension::pp_begin_batch`] call —
+/// the arguments of a single [`RdaExtension::pp_begin`], minus the
+/// shared timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeginRequest {
+    /// The process opening the period.
+    pub process: ProcessId,
+    /// The static begin site.
+    pub site: SiteId,
+    /// The declared demand.
+    pub demand: PpDemand,
+}
+
 /// Outcome of a `pp_begin` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BeginOutcome {
@@ -178,6 +191,14 @@ pub struct RdaExtension {
     breaker_open: [bool; 2],
     breaker_above: [u32; 2],
     breaker_below: [u32; 2],
+    /// Bumped by every call that can mutate the books (registry,
+    /// monitor, waitlist) — [`Self::pp_begin`], [`Self::pp_end`],
+    /// [`Self::process_exit`], [`Self::age_waitlist`]. Callers running
+    /// a per-step paranoid [`Self::check_invariants`] sweep can skip
+    /// re-checking while the epoch is unchanged: the check is a pure
+    /// function of the books, so an unchanged epoch implies an
+    /// unchanged verdict.
+    books_epoch: u64,
 }
 
 impl RdaExtension {
@@ -193,6 +214,7 @@ impl RdaExtension {
             breaker_open: [false; 2],
             breaker_above: [0; 2],
             breaker_below: [0; 2],
+            books_epoch: 0,
             cfg,
         }
     }
@@ -385,6 +407,7 @@ impl RdaExtension {
         demand: PpDemand,
         now: SimTime,
     ) -> Result<BeginOutcome, RdaError> {
+        self.books_epoch += 1;
         if !self.cfg.policy.is_gating() {
             return Ok(BeginOutcome::Bypass);
         }
@@ -597,6 +620,151 @@ impl RdaExtension {
         }
     }
 
+    /// Process a same-tick batch of `pp_begin`s in one call.
+    ///
+    /// Semantically this is *defined* as the serial fold: the returned
+    /// vector, every counter, and the final books are bit-identical to
+    /// calling [`Self::pp_begin`] once per request in slice order at
+    /// the same `now` (a differential proptest in `rda-check` enforces
+    /// exactly that). What the batch buys is the hot path: with no
+    /// trace sink and no overload control configured, the predicate for
+    /// the whole batch is evaluated against a **single load-table
+    /// read** ([`crate::monitor::LoadView`]) — capacity, usage limit,
+    /// and waitlist length live in registers across the loop, and the
+    /// monitor is written back once at the end with the exact epoch
+    /// advance the serial increments would have produced.
+    pub fn pp_begin_batch(
+        &mut self,
+        reqs: &[BeginRequest],
+        now: SimTime,
+    ) -> Vec<Result<BeginOutcome, RdaError>> {
+        // Tracing and overload control have per-item side effects
+        // (event emission, shedding, breaker probes) that the batched
+        // loop does not replicate; a non-gating policy never touches
+        // the books at all. All three take the literal serial fold.
+        if self.sink.is_some() || self.cfg.overload.is_some() || !self.cfg.policy.is_gating() {
+            return reqs
+                .iter()
+                .map(|q| self.pp_begin(q.process, q.site, q.demand, now))
+                .collect();
+        }
+        self.books_epoch += 1;
+        let view = self.monitor.load_view();
+        let caps = view.capacity;
+        let mut usage = view.usage;
+        let limits = [
+            self.cfg.policy.usage_limit(caps[0]),
+            self.cfg.policy.usage_limit(caps[1]),
+        ];
+        let mut wl_len = [
+            self.waitlist.len(Resource::ALL[0]),
+            self.waitlist.len(Resource::ALL[1]),
+        ];
+        // Net effect on the load table, applied in one write-back.
+        let mut added = [0u64; 2];
+        let mut admits = [0u64; 2];
+        let mut out = Vec::with_capacity(reqs.len());
+        for q in reqs {
+            self.stats.begins += 1;
+            let resource = q.demand.resource;
+            let i = resource.index();
+            let audited = match self.audit_demand(resource, q.demand.amount) {
+                Ok(amount) => amount,
+                Err(err) => {
+                    out.push(Err(err));
+                    continue;
+                }
+            };
+            let demand = PpDemand {
+                amount: audited,
+                ..q.demand
+            };
+            let accounted = self.cfg.policy.effective_demand(audited, caps[i]);
+            // 64-bit load-table overflow guard, against the running
+            // in-batch usage (exactly what the serial call would see).
+            if usage[i].checked_add(accounted).is_none() {
+                self.stats.clamped += 1;
+                out.push(Err(RdaError::DemandOverflow {
+                    resource,
+                    declared: demand.amount,
+                    capacity: caps[i],
+                }));
+                continue;
+            }
+            // Fast path: repeat entry of a recently validated site
+            // while no one is waitlisted ahead of us.
+            if wl_len[i] == 0
+                && self.fastpath.try_admit(
+                    q.process,
+                    q.site,
+                    resource,
+                    audited,
+                    usage[i],
+                    now,
+                    self.cfg.min_eval_interval_cycles,
+                )
+            {
+                usage[i] += accounted;
+                added[i] += accounted;
+                admits[i] += 1;
+                let pp = self
+                    .registry
+                    .register(q.process, q.site, demand, accounted, true, now);
+                self.stats.admitted += 1;
+                self.stats.fast_begins += 1;
+                out.push(Ok(BeginOutcome::Run { pp, fast: true }));
+                continue;
+            }
+            // Slow path: Algorithm 1 against the register-resident
+            // load view.
+            let remaining = caps[i] as i128 - usage[i] as i128;
+            match predicate::decide(accounted, caps[i], remaining, &self.cfg.policy) {
+                Decision::Run => {
+                    if accounted > limits[i] {
+                        self.stats.oversized_admits += 1;
+                    }
+                    usage[i] += accounted;
+                    added[i] += accounted;
+                    admits[i] += 1;
+                    let pp = self
+                        .registry
+                        .register(q.process, q.site, demand, accounted, true, now);
+                    self.stats.admitted += 1;
+                    let threshold = limits[i].saturating_sub(accounted);
+                    self.fastpath
+                        .store_run(q.process, q.site, resource, audited, threshold, now);
+                    out.push(Ok(BeginOutcome::Run { pp, fast: false }));
+                }
+                Decision::Pause => {
+                    // No overload control on this path, so no shedding:
+                    // register and queue.
+                    let pp = self
+                        .registry
+                        .register(q.process, q.site, demand, accounted, false, now);
+                    if let Err(e) = self.waitlist.push(
+                        resource,
+                        WaitEntry {
+                            pp,
+                            accounted,
+                            enqueued_at: now,
+                        },
+                    ) {
+                        self.registry.complete(pp);
+                        self.stats.desyncs += 1;
+                        out.push(Err(e));
+                        continue;
+                    }
+                    wl_len[i] += 1;
+                    self.stats.paused += 1;
+                    self.stats.max_waitlist = self.stats.max_waitlist.max(wl_len[i] as u64);
+                    out.push(Ok(BeginOutcome::Pause { pp, shed: None }));
+                }
+            }
+        }
+        self.monitor.commit_loads(added, admits);
+        out
+    }
+
     /// Process a `pp_end` for a period previously returned by
     /// [`Self::pp_begin`]. Returns the waitlisted periods this
     /// completion admitted.
@@ -609,6 +777,7 @@ impl RdaExtension {
     /// marker ([`RdaError::EndWhileWaitlisted`]). The extension's state
     /// is untouched on every error path.
     pub fn pp_end(&mut self, pp: PpId, now: SimTime) -> Result<EndOutcome, RdaError> {
+        self.books_epoch += 1;
         self.stats.ends += 1;
         let mut ev = TraceEvent::at(now.cycles(), EventKind::End);
         ev.pp = pp.0;
@@ -709,6 +878,7 @@ impl RdaExtension {
     /// leaks. Calling it for a process with no live periods is a cheap
     /// no-op, so callers may invoke it unconditionally on every exit.
     pub fn process_exit(&mut self, process: ProcessId, now: SimTime) -> Vec<(PpId, ProcessId)> {
+        self.books_epoch += 1;
         let live: Vec<PpId> = self
             .registry
             .iter()
@@ -768,6 +938,7 @@ impl RdaExtension {
     /// with overload control enabled it must be called on every tick —
     /// breaker hysteresis advances only here.
     pub fn age_waitlist(&mut self, now: SimTime) -> AgeOutcome {
+        self.books_epoch += 1;
         let mut out = AgeOutcome::default();
         if self.cfg.waitlist_timeout_cycles.is_none() && self.cfg.overload.is_none() {
             return out;
@@ -916,26 +1087,44 @@ impl RdaExtension {
         // drain must be strictly oldest-first by enqueue time.
         let mut last_aged: Option<SimTime> = None;
         loop {
-            // Admit while the head fits nominally.
+            // Admit while the head fits nominally. The probe needs no
+            // registry lookup: a waitlist entry stores its *accounted*
+            // demand, and for a fixed capacity and policy the predicate
+            // on the original declaration reduces to [`predicate::decide`]
+            // on that accounted value (they were derived from each other
+            // at begin time), so the verdict is bit-identical to the
+            // full `try_schedule` walk the head-scan used to pay for.
             while let Some(head) = self.waitlist.front(resource) {
-                // Unreachable `expect`s below: every waitlist entry has
-                // a registry record (`check_invariants` proves it after
-                // every event; only this module mutates either side).
-                let rec = self
-                    .registry
-                    .get(head.pp)
-                    .expect("waitlisted period missing from registry");
-                let decision =
-                    predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy);
+                let decision = predicate::decide(
+                    head.accounted,
+                    self.monitor.capacity(resource),
+                    self.monitor.remaining_signed(resource),
+                    &self.cfg.policy,
+                );
+                #[cfg(debug_assertions)]
+                if let Some(rec) = self.registry.get(head.pp) {
+                    debug_assert_eq!(
+                        decision,
+                        predicate::try_schedule(&rec.demand, &self.monitor, &self.cfg.policy),
+                        "accounted-gate verdict diverged from the registry walk"
+                    );
+                }
                 if decision != Decision::Run {
                     break;
                 }
-                let head = self.waitlist.pop(resource).expect("front checked above");
+                let Some(head) = self.waitlist.pop(resource) else {
+                    break; // front() returned Some above; defensive
+                };
                 self.monitor.increment_load(resource, head.accounted);
-                let rec = self
-                    .registry
-                    .get_mut(head.pp)
-                    .expect("waitlisted period missing from registry");
+                // A waitlist entry without a registry record means the
+                // books have desynchronized: roll the increment back,
+                // drop the orphan entry, and count it instead of
+                // admitting garbage (or panicking).
+                let Some(rec) = self.registry.get_mut(head.pp) else {
+                    self.monitor.decrement_load(resource, head.accounted);
+                    self.stats.desyncs += 1;
+                    continue;
+                };
                 rec.admitted = true;
                 let process = rec.process;
                 let site = rec.site;
@@ -971,10 +1160,13 @@ impl RdaExtension {
                 "aging force-admitted out of oldest-first order"
             );
             last_aged = Some(aged.enqueued_at);
-            let rec = self
-                .registry
-                .get_mut(aged.pp)
-                .expect("waitlisted period missing from registry");
+            // Same desync tolerance as the nominal path: an aged entry
+            // without a registry record is dropped and counted, not
+            // force-admitted into thin air.
+            let Some(rec) = self.registry.get_mut(aged.pp) else {
+                self.stats.desyncs += 1;
+                continue;
+            };
             rec.admitted = true;
             rec.overflow = true;
             let process = rec.process;
@@ -996,22 +1188,34 @@ impl RdaExtension {
         resumed
     }
 
+    /// Monotonic counter of book mutations (see the field doc). An
+    /// unchanged value between two observations means the registry,
+    /// monitor, and waitlist are bit-identical to the last look, so a
+    /// previously passing [`Self::check_invariants`] still holds.
+    pub fn books_epoch(&self) -> u64 {
+        self.books_epoch
+    }
+
     /// Internal consistency: the monitor's two buckets equal the
     /// registry's accounted sums, and the waitlist agrees with the
     /// registry record by record. Any violation is a scheduler bug —
     /// never an application bug — reported as a typed
     /// [`RdaError::InvariantViolation`].
     pub fn check_invariants(&self) -> Result<(), RdaError> {
+        // One pass over the registry instead of six (this runs after
+        // every simulation step when paranoid checking is on).
+        let sums = self.registry.audit_sums();
         for r in Resource::ALL {
+            let i = Self::resource_index(r);
             let checks = [
                 (
                     InvariantKind::UsageMismatch,
-                    self.registry.total_accounted(r),
+                    sums.accounted[i],
                     self.monitor.usage(r),
                 ),
                 (
                     InvariantKind::OverflowMismatch,
-                    self.registry.total_overflow(r),
+                    sums.overflow[i],
                     self.monitor.overflow(r),
                 ),
             ];
@@ -1046,7 +1250,7 @@ impl RdaExtension {
                     Some(_) => {}
                 }
             }
-            let expected = self.registry.waiting_on(r) as u64;
+            let expected = sums.waiting[i];
             let actual = self.waitlist.len(r) as u64;
             if expected != actual {
                 return Err(RdaError::InvariantViolation {

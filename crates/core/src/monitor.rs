@@ -12,105 +12,122 @@
 //! deliberately excluded from [`ResourceMonitor::usage`] (and therefore
 //! from the scheduling predicate) — degraded admissions must not be
 //! able to wedge the nominal books shut for well-behaved periods.
+//!
+//! The table is laid out struct-of-arrays: each column (capacity,
+//! usage, overflow, epoch) is one small array indexed by
+//! [`Resource::index`]. The batched admission path reads the whole
+//! usage column in one [`ResourceMonitor::load_view`] call, decides a
+//! batch of periods against the copy, and writes the net effect back
+//! with [`ResourceMonitor::commit_loads`] — equivalent, increment by
+//! increment, to the serial calls it replaces.
 
 use crate::api::Resource;
 
-/// One row of the load table.
+const N: usize = Resource::ALL.len();
+
+/// A one-read copy of the load table's predicate-visible columns, for
+/// deciding a batch of same-tick admissions without re-reading the
+/// table per period. Indexed by [`Resource::index`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LoadEntry {
-    capacity: u64,
-    usage: u64,
-    /// Demand admitted under degraded (aged / force-admitted)
-    /// accounting; tracked separately so it never blocks the predicate.
-    overflow: u64,
-    /// Monotone counter bumped on every usage change; the fast path
-    /// uses it to detect staleness cheaply.
-    epoch: u64,
+pub struct LoadView {
+    /// Nominal capacity per resource.
+    pub capacity: [u64; N],
+    /// Nominal usage per resource (excludes the overflow bucket, like
+    /// [`ResourceMonitor::usage`]).
+    pub usage: [u64; N],
 }
 
 /// Real-time estimation of hardware resource usage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceMonitor {
-    llc: LoadEntry,
-    membw: LoadEntry,
+    capacity: [u64; N],
+    usage: [u64; N],
+    /// Demand admitted under degraded (aged / force-admitted)
+    /// accounting; tracked separately so it never blocks the predicate.
+    overflow: [u64; N],
+    /// Monotone counter bumped on every usage change; the fast path
+    /// uses it to detect staleness cheaply.
+    epoch: [u64; N],
 }
 
 impl ResourceMonitor {
     /// Build a monitor with the given capacities.
     pub fn new(llc_capacity: u64, membw_capacity: u64) -> Self {
-        let entry = |capacity| LoadEntry {
-            capacity,
-            usage: 0,
-            overflow: 0,
-            epoch: 0,
-        };
         ResourceMonitor {
-            llc: entry(llc_capacity),
-            membw: entry(membw_capacity),
-        }
-    }
-
-    fn entry(&self, r: Resource) -> &LoadEntry {
-        match r {
-            Resource::Llc => &self.llc,
-            Resource::MemBandwidth => &self.membw,
-        }
-    }
-
-    fn entry_mut(&mut self, r: Resource) -> &mut LoadEntry {
-        match r {
-            Resource::Llc => &mut self.llc,
-            Resource::MemBandwidth => &mut self.membw,
+            capacity: [llc_capacity, membw_capacity],
+            usage: [0; N],
+            overflow: [0; N],
+            epoch: [0; N],
         }
     }
 
     /// Nominal capacity of a resource.
     pub fn capacity(&self, r: Resource) -> u64 {
-        self.entry(r).capacity
+        self.capacity[r.index()]
     }
 
     /// Current summed demand of active periods admitted under nominal
     /// accounting (excludes the overflow bucket).
     pub fn usage(&self, r: Resource) -> u64 {
-        self.entry(r).usage
+        self.usage[r.index()]
     }
 
     /// Summed demand of periods force-admitted under degraded
     /// (overflow) accounting.
     pub fn overflow(&self, r: Resource) -> u64 {
-        self.entry(r).overflow
+        self.overflow[r.index()]
     }
 
     /// Nominal plus overflow demand — the real pressure on the
     /// hardware, for reporting (the predicate sees only [`Self::usage`]).
     pub fn total_usage(&self, r: Resource) -> u64 {
-        let e = self.entry(r);
-        e.usage.saturating_add(e.overflow)
+        let i = r.index();
+        self.usage[i].saturating_add(self.overflow[i])
     }
 
     /// Unused nominal capacity (saturating at zero when oversubscribed).
     pub fn remaining(&self, r: Resource) -> u64 {
-        let e = self.entry(r);
-        e.capacity.saturating_sub(e.usage)
+        let i = r.index();
+        self.capacity[i].saturating_sub(self.usage[i])
     }
 
     /// Signed remaining capacity — negative when policies have allowed
     /// oversubscription.
     pub fn remaining_signed(&self, r: Resource) -> i128 {
-        let e = self.entry(r);
-        e.capacity as i128 - e.usage as i128
+        let i = r.index();
+        self.capacity[i] as i128 - self.usage[i] as i128
     }
 
     /// Usage-change epoch (bumped on every increment/decrement).
     pub fn epoch(&self, r: Resource) -> u64 {
-        self.entry(r).epoch
+        self.epoch[r.index()]
+    }
+
+    /// One read of the predicate-visible columns, for batched decisions.
+    pub fn load_view(&self) -> LoadView {
+        LoadView {
+            capacity: self.capacity,
+            usage: self.usage,
+        }
+    }
+
+    /// Write back the net effect of a decided batch: per resource,
+    /// `added[i]` more nominal usage from `admits[i]` admissions. The
+    /// epoch advances by the admission count, exactly as the same
+    /// admissions issued one [`Self::increment_load`] at a time would
+    /// have left it.
+    pub fn commit_loads(&mut self, added: [u64; N], admits: [u64; N]) {
+        for i in 0..N {
+            self.usage[i] += added[i];
+            self.epoch[i] += admits[i];
+        }
     }
 
     /// Account a newly admitted period's demand.
     pub fn increment_load(&mut self, r: Resource, demand: u64) {
-        let e = self.entry_mut(r);
-        e.usage += demand;
-        e.epoch += 1;
+        let i = r.index();
+        self.usage[i] += demand;
+        self.epoch[i] += 1;
     }
 
     /// Release a completed period's demand.
@@ -118,22 +135,22 @@ impl ResourceMonitor {
     /// Panics if the release exceeds the tracked usage — that would mean
     /// the registry double-released a period, which is a scheduler bug.
     pub fn decrement_load(&mut self, r: Resource, demand: u64) {
-        let e = self.entry_mut(r);
+        let i = r.index();
         assert!(
-            e.usage >= demand,
+            self.usage[i] >= demand,
             "resource {r}: releasing {demand} with only {} in use",
-            e.usage
+            self.usage[i]
         );
-        e.usage -= demand;
-        e.epoch += 1;
+        self.usage[i] -= demand;
+        self.epoch[i] += 1;
     }
 
     /// Account a period force-admitted by waitlist aging in the
     /// degraded overflow bucket.
     pub fn increment_overflow(&mut self, r: Resource, demand: u64) {
-        let e = self.entry_mut(r);
-        e.overflow += demand;
-        e.epoch += 1;
+        let i = r.index();
+        self.overflow[i] += demand;
+        self.epoch[i] += 1;
     }
 
     /// Release a completed overflow-admitted period's demand.
@@ -142,23 +159,23 @@ impl ResourceMonitor {
     /// would mean a double release, which is a scheduler bug (the typed
     /// error paths in [`crate::extension`] make it unreachable).
     pub fn decrement_overflow(&mut self, r: Resource, demand: u64) {
-        let e = self.entry_mut(r);
+        let i = r.index();
         assert!(
-            e.overflow >= demand,
+            self.overflow[i] >= demand,
             "resource {r}: releasing {demand} overflow with only {} in the bucket",
-            e.overflow
+            self.overflow[i]
         );
-        e.overflow -= demand;
-        e.epoch += 1;
+        self.overflow[i] -= demand;
+        self.epoch[i] += 1;
     }
 
     /// Oversubscription ratio `usage / capacity` (0 for idle).
     pub fn pressure(&self, r: Resource) -> f64 {
-        let e = self.entry(r);
-        if e.capacity == 0 {
+        let i = r.index();
+        if self.capacity[i] == 0 {
             0.0
         } else {
-            e.usage as f64 / e.capacity as f64
+            self.usage[i] as f64 / self.capacity[i] as f64
         }
     }
 }
@@ -259,5 +276,33 @@ mod tests {
         let mut m = mon();
         m.increment_overflow(Resource::Llc, 10);
         m.decrement_overflow(Resource::Llc, 11);
+    }
+
+    #[test]
+    fn load_view_matches_the_accessors() {
+        let mut m = mon();
+        m.increment_load(Resource::Llc, 123);
+        m.increment_load(Resource::MemBandwidth, 45);
+        m.increment_overflow(Resource::Llc, 7); // invisible to the view
+        let v = m.load_view();
+        for r in Resource::ALL {
+            assert_eq!(v.capacity[r.index()], m.capacity(r));
+            assert_eq!(v.usage[r.index()], m.usage(r));
+        }
+    }
+
+    #[test]
+    fn commit_loads_is_equivalent_to_serial_increments() {
+        let mut serial = mon();
+        serial.increment_load(Resource::Llc, 10);
+        serial.increment_load(Resource::Llc, 20);
+        serial.increment_load(Resource::MemBandwidth, 5);
+
+        let mut batched = mon();
+        batched.commit_loads([30, 5], [2, 1]);
+        assert_eq!(serial, batched);
+        for r in Resource::ALL {
+            assert_eq!(serial.epoch(r), batched.epoch(r));
+        }
     }
 }

@@ -205,6 +205,42 @@ impl PpRegistry {
             .filter(|r| !r.admitted && r.demand.resource == resource)
             .count()
     }
+
+    /// All three per-resource audit aggregates — nominal accounted sum,
+    /// overflow-bucket sum, and waiting count — computed in one pass
+    /// over the live records. Equivalent to calling
+    /// [`Self::total_accounted`], [`Self::total_overflow`], and
+    /// [`Self::waiting_on`] per resource, but six times cheaper; the
+    /// per-step paranoid invariant sweep runs on this.
+    pub fn audit_sums(&self) -> AuditSums {
+        let mut sums = AuditSums::default();
+        for r in self.iter() {
+            let i = match r.demand.resource {
+                crate::api::Resource::Llc => 0,
+                crate::api::Resource::MemBandwidth => 1,
+            };
+            if !r.admitted {
+                sums.waiting[i] += 1;
+            } else if r.overflow {
+                sums.overflow[i] += r.accounted;
+            } else {
+                sums.accounted[i] += r.accounted;
+            }
+        }
+        sums
+    }
+}
+
+/// Per-resource registry aggregates (indexed by
+/// [`crate::api::Resource::ALL`] order) from [`PpRegistry::audit_sums`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditSums {
+    /// Sum of accounted demand over admitted, non-overflow periods.
+    pub accounted: [u64; 2],
+    /// Sum of accounted demand over aged (overflow-admitted) periods.
+    pub overflow: [u64; 2],
+    /// Count of live periods not admitted (waitlisted).
+    pub waiting: [u64; 2],
 }
 
 /// The previous `BTreeMap`-backed registry, kept verbatim as the

@@ -172,6 +172,15 @@ impl TopoConfig {
         }
     }
 
+    /// [`Self::new`], but rejecting malformed capacity tables (zero
+    /// capacity for a constrained kind, empty topologies) with a typed
+    /// [`SpecError`] instead of letting the engine silently skip the
+    /// kind in placement scoring.
+    pub fn validated(spec: TopoSpec, layers: LayerSet) -> Result<Self, crate::topology::SpecError> {
+        spec.validate()?;
+        Ok(Self::new(spec, layers))
+    }
+
     /// The single-node, single-layer shape equivalent to a scalar
     /// [`crate::config::RdaConfig`]: same LLC and bandwidth
     /// capacities, an effectively unconstrained DRAM pool (the scalar
@@ -610,18 +619,44 @@ impl TopoExtension {
         id
     }
 
-    fn account_nominal(&mut self, n: usize, layer: LayerId, acc: &Demand) {
+    /// Add `acc` to node `n`'s nominal books for `layer`. Checked
+    /// two-pass: if any component would wrap the usage book *or* the
+    /// per-layer ledger, nothing is added and the wrapping kind is
+    /// returned — the caller converts it into a typed
+    /// [`TopoError::DemandOverflow`] rejection.
+    fn account_nominal(&mut self, n: usize, layer: LayerId, acc: &Demand) -> Result<(), ResourceKind> {
+        let li = layer.0 as usize;
+        for k in ResourceKind::ALL {
+            let i = k.index();
+            let a = acc.get(k);
+            if self.usage[n][i].checked_add(a).is_none()
+                || self.layer_usage[li][n][i].checked_add(a).is_none()
+            {
+                return Err(k);
+            }
+        }
         for k in ResourceKind::ALL {
             let i = k.index();
             self.usage[n][i] += acc.get(k);
-            self.layer_usage[layer.0 as usize][n][i] += acc.get(k);
+            self.layer_usage[li][n][i] += acc.get(k);
         }
+        Ok(())
     }
 
-    fn account_overflow(&mut self, n: usize, acc: &Demand) {
+    /// Add `acc` to node `n`'s degraded overflow bucket. Checked like
+    /// [`Self::account_nominal`]: the bucket has no release pressure
+    /// from the predicate, so it is the one book that can genuinely
+    /// approach `u64::MAX` under sustained degraded admission.
+    fn account_overflow(&mut self, n: usize, acc: &Demand) -> Result<(), ResourceKind> {
+        for k in ResourceKind::ALL {
+            if self.overflow[n][k.index()].checked_add(acc.get(k)).is_none() {
+                return Err(k);
+            }
+        }
         for k in ResourceKind::ALL {
             self.overflow[n][k.index()] += acc.get(k);
         }
+        Ok(())
     }
 
     /// Release a completed or reclaimed record's vector from the
@@ -720,7 +755,16 @@ impl TopoExtension {
                 }
             }
             if eligible.iter().all(|&e| !e) {
-                let (node, kind) = first_block.expect("all nodes blocked implies a blocker");
+                // All-blocked implies the scan recorded a blocker; if
+                // the books disagree, count the desync and shed with a
+                // neutral attribution rather than panic.
+                let (node, kind) = match first_block {
+                    Some(b) => b,
+                    None => {
+                        self.stats.desyncs += 1;
+                        (NodeId(0), ResourceKind::ALL[0])
+                    }
+                };
                 self.stats.shed += 1;
                 ev.kind = EventKind::Shed;
                 ev.reject = RejectKind::BreakerOpen;
@@ -758,7 +802,15 @@ impl TopoExtension {
             }
         }
         if all_wrap {
-            let k = wrap_kind.expect("an eligible node exists past the breaker gate");
+            // At least one eligible node survived the breaker gate, so
+            // all-wrap implies a recorded kind; desync-tolerate anyway.
+            let k = match wrap_kind {
+                Some(k) => k,
+                None => {
+                    self.stats.desyncs += 1;
+                    ResourceKind::ALL[0]
+                }
+            };
             self.stats.clamped += 1;
             ev.kind = EventKind::Reject;
             ev.reject = RejectKind::DemandOverflow;
@@ -778,7 +830,17 @@ impl TopoExtension {
             {
                 self.stats.oversized_admits += 1;
             }
-            self.account_nominal(n, layer, &acc);
+            if let Err(k) = self.account_nominal(n, layer, &acc) {
+                self.stats.clamped += 1;
+                ev.kind = EventKind::Reject;
+                ev.reject = RejectKind::DemandOverflow;
+                self.emit(ev);
+                return Err(TopoError::DemandOverflow {
+                    kind: k,
+                    declared: acc.get(k),
+                    capacity: self.cfg.spec.max_capacity(k),
+                });
+            }
             let pp = self.register(
                 process,
                 site,
@@ -803,19 +865,42 @@ impl TopoExtension {
 
         // No node fits: pin the arrival to the least-occupied eligible
         // node's waitlist, behind that node's overload gate.
-        let target = (0..nodes)
+        let Some(target) = (0..nodes)
             .filter(|&n| eligible[n])
             .min_by_key(|&n| (self.occupancy_score(n, &audited), n))
-            .expect("at least one eligible node past the breaker gate");
+        else {
+            // Unreachable when the books are sound (the all-blocked
+            // case returned above); shed instead of panicking.
+            self.stats.desyncs += 1;
+            self.stats.shed += 1;
+            ev.kind = EventKind::Shed;
+            ev.reject = RejectKind::BreakerOpen;
+            self.emit(ev);
+            return Err(TopoError::BreakerOpen {
+                node: NodeId(0),
+                kind: ResourceKind::ALL[0],
+            });
+        };
         let acc = self.accounted_on(target, &audited, policy);
         let mut shed_victim = None;
         if let Some(ov) = self.cfg.overload {
             if self.waitlists[target].len() >= ov.waitlist_cap {
                 match ov.shed_policy {
                     ShedPolicy::RejectOldest if !self.waitlists[target].is_empty() => {
-                        let victim = self.waitlists[target]
-                            .pop_front()
-                            .expect("non-empty checked above");
+                        let Some(victim) = self.waitlists[target].pop_front() else {
+                            // Queue emptied between the guard and the
+                            // pop — a books desync; fall back to the
+                            // tail-drop behaviour of the `_` arm.
+                            self.stats.desyncs += 1;
+                            self.stats.shed += 1;
+                            ev.kind = EventKind::Shed;
+                            ev.node = target as u32;
+                            ev.reject = RejectKind::WaitlistFull;
+                            self.emit(ev);
+                            return Err(TopoError::WaitlistFull {
+                                node: NodeId(target as u32),
+                            });
+                        };
                         let mut sv = TraceEvent::at(now.cycles(), EventKind::Shed);
                         sv.node = target as u32;
                         sv.pp = victim.pp.0;
@@ -837,6 +922,17 @@ impl TopoExtension {
                         shed_victim = Some(victim.pp);
                     }
                     ShedPolicy::DegradeToOverflow => {
+                        if let Err(k) = self.account_overflow(target, &acc) {
+                            self.stats.clamped += 1;
+                            ev.kind = EventKind::Reject;
+                            ev.reject = RejectKind::DemandOverflow;
+                            self.emit(ev);
+                            return Err(TopoError::DemandOverflow {
+                                kind: k,
+                                declared: acc.get(k),
+                                capacity: self.cfg.spec.max_capacity(k),
+                            });
+                        }
                         let pp = self.register(
                             process,
                             site,
@@ -848,7 +944,6 @@ impl TopoExtension {
                             true,
                             now,
                         );
-                        self.account_overflow(target, &acc);
                         self.stats.shed += 1;
                         ev.kind = EventKind::Shed;
                         ev.node = target as u32;
@@ -1126,15 +1221,23 @@ impl TopoExtension {
         let mut resumed = Vec::new();
         loop {
             while let Some(&head) = self.waitlists[n].front() {
-                let rec = *self
-                    .records
-                    .get(&head.pp.0)
-                    .expect("waitlisted period missing from records");
+                let Some(&rec) = self.records.get(&head.pp.0) else {
+                    // Orphaned waitlist entry (its record vanished):
+                    // drop it, count the desync, keep draining behind.
+                    self.waitlists[n].pop_front();
+                    self.stats.desyncs += 1;
+                    continue;
+                };
                 if !matches!(self.node_admittable(n, rec.layer, &head.accounted), Ok(true)) {
                     break;
                 }
+                if self.account_nominal(n, rec.layer, &head.accounted).is_err() {
+                    // The per-layer ledger would wrap: leave the head
+                    // parked; aging can still degrade it into the
+                    // (checked) overflow bucket.
+                    break;
+                }
                 self.waitlists[n].pop_front();
-                self.account_nominal(n, rec.layer, &head.accounted);
                 if let Some(r) = self.records.get_mut(&head.pp.0) {
                     r.admitted = true;
                 }
@@ -1164,16 +1267,39 @@ impl TopoExtension {
                 break;
             }
             self.waitlists[n].pop_front();
-            let (process, site) = {
-                let rec = self
-                    .records
-                    .get_mut(&head.pp.0)
-                    .expect("waitlisted period missing from records");
-                rec.admitted = true;
-                rec.overflow = true;
-                (rec.process, rec.site)
+            if !self.records.contains_key(&head.pp.0) {
+                // Orphaned aged head: drop it and keep draining.
+                self.stats.desyncs += 1;
+                continue;
+            }
+            if self.account_overflow(n, &head.accounted).is_err() {
+                // The overflow bucket would wrap: the head can neither
+                // run nominally nor degrade. Shed it outright rather
+                // than wedge the queue behind it forever.
+                let mut sv = TraceEvent::at(now.cycles(), EventKind::Shed);
+                sv.node = n as u32;
+                sv.pp = head.pp.0;
+                sv.reject = RejectKind::DemandOverflow;
+                let (r, a) = Self::primary(&head.accounted);
+                sv.resource = r;
+                sv.amount = a;
+                sv.wait_cycles = now.cycles().saturating_sub(head.enqueued_at.cycles());
+                if let Some(rec) = self.records.remove(&head.pp.0) {
+                    sv.process = rec.process.0;
+                    sv.site = rec.site.0;
+                }
+                self.stats.clamped += 1;
+                self.stats.shed += 1;
+                self.emit(sv);
+                continue;
+            }
+            let Some(rec) = self.records.get_mut(&head.pp.0) else {
+                self.stats.desyncs += 1;
+                continue;
             };
-            self.account_overflow(n, &head.accounted);
+            rec.admitted = true;
+            rec.overflow = true;
+            let (process, site) = (rec.process, rec.site);
             self.stats.aged_admissions += 1;
             let mut ev = TraceEvent::at(now.cycles(), EventKind::Age);
             ev.node = n as u32;
@@ -1563,6 +1689,160 @@ mod tests {
             cfg.spec.capacity(NodeId(0), ResourceKind::MemBw),
             scalar.membw_capacity
         );
+    }
+
+    #[test]
+    fn orphaned_waitlist_entry_is_dropped_not_panicked() {
+        let mut e = TopoExtension::new(TopoConfig::new(
+            TopoSpec::single(100, 50, 1000),
+            LayerSet::single(PolicyKind::Strict),
+        ));
+        let holder = run(&mut e, 0, 0, Demand::llc(100), t(0));
+        let BeginOutcome::Pause { pp: orphan, .. } = e
+            .pp_begin(ProcessId(1), SiteId(0), Demand::llc(40), t(1))
+            .unwrap()
+        else {
+            panic!("expected Pause");
+        };
+        let BeginOutcome::Pause { pp: behind, .. } = e
+            .pp_begin(ProcessId(2), SiteId(0), Demand::llc(30), t(2))
+            .unwrap()
+        else {
+            panic!("expected Pause");
+        };
+        // Corrupt the record store: the head's record vanishes while
+        // its waitlist entry stays — the drain must drop the orphan,
+        // count the desync, and still admit the entry behind it.
+        e.records.remove(&orphan.0);
+        let out = e.pp_end(holder, t(3)).unwrap();
+        assert_eq!(e.stats().desyncs, 1);
+        assert_eq!(out.resumed, vec![(behind, ProcessId(2))]);
+        assert!(e.snapshot().waitlists[0].is_empty());
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overflow_bucket_wrap_is_a_typed_rejection() {
+        let mut e = TopoExtension::new(
+            TopoConfig::new(
+                TopoSpec::single(100, u64::MAX, 1000),
+                LayerSet::single(PolicyKind::Strict),
+            )
+            .with_overload(OverloadConfig {
+                waitlist_cap: 0,
+                shed_policy: ShedPolicy::DegradeToOverflow,
+                deadline_cycles: None,
+                breaker: None,
+            }),
+        );
+        run(&mut e, 0, 0, Demand::llc(100), t(0)); // fill the LLC
+        // First degraded admission parks u64::MAX bandwidth in the
+        // overflow bucket (fits: the bucket starts empty).
+        let d = Demand::new(50, u64::MAX, 0);
+        match e.pp_begin(ProcessId(1), SiteId(0), d, t(1)).unwrap() {
+            BeginOutcome::Run { .. } => {}
+            other => panic!("expected degraded Run, got {other:?}"),
+        }
+        // The second would wrap the bandwidth book: typed rejection,
+        // nothing half-accounted.
+        let clamped = e.stats().clamped;
+        let err = e.pp_begin(ProcessId(2), SiteId(0), d, t(2)).unwrap_err();
+        assert!(matches!(
+            err,
+            TopoError::DemandOverflow {
+                kind: ResourceKind::MemBw,
+                ..
+            }
+        ));
+        assert_eq!(e.stats().clamped, clamped + 1);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn layer_ledger_wrap_rejects_admission_not_panics() {
+        let mut e = TopoExtension::new(TopoConfig::new(
+            TopoSpec::single(100, 50, 1000),
+            LayerSet::single(PolicyKind::Strict),
+        ));
+        // Corrupt the per-layer ledger near the wrap point while the
+        // node book stays small: accounting must reject, not panic,
+        // and must not half-apply the vector.
+        e.layer_usage[0][0][ResourceKind::Llc.index()] = u64::MAX;
+        let err = e
+            .pp_begin(ProcessId(0), SiteId(0), Demand::llc(10), t(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TopoError::DemandOverflow {
+                kind: ResourceKind::Llc,
+                ..
+            }
+        ));
+        assert_eq!(e.usage[0][ResourceKind::Llc.index()], 0);
+        assert!(e.snapshot().periods.is_empty());
+    }
+
+    #[test]
+    fn aged_head_that_would_wrap_overflow_is_shed() {
+        let mut e = TopoExtension::new(
+            TopoConfig::new(
+                TopoSpec::single(100, u64::MAX, 1000),
+                LayerSet::single(PolicyKind::Strict),
+            )
+            .with_overload(OverloadConfig {
+                waitlist_cap: 1,
+                shed_policy: ShedPolicy::DegradeToOverflow,
+                deadline_cycles: None,
+                breaker: None,
+            })
+            .with_waitlist_timeout_cycles(10),
+        );
+        run(&mut e, 0, 0, Demand::llc(100), t(0)); // holder fills the LLC
+        // X parks at the head demanding the whole bandwidth book.
+        let BeginOutcome::Pause { pp: head, .. } = e
+            .pp_begin(ProcessId(1), SiteId(0), Demand::new(50, u64::MAX, 0), t(1))
+            .unwrap()
+        else {
+            panic!("expected Pause");
+        };
+        // Y hits the full gate and degrades, parking u64::MAX
+        // bandwidth in the overflow bucket.
+        match e
+            .pp_begin(ProcessId(2), SiteId(0), Demand::new(50, u64::MAX, 0), t(2))
+            .unwrap()
+        {
+            BeginOutcome::Run { .. } => {}
+            other => panic!("expected degraded Run, got {other:?}"),
+        }
+        // Aging must shed X: it cannot run nominally (LLC full) and
+        // degrading it would wrap the bandwidth overflow bucket.
+        let shed = e.stats().shed;
+        e.age_waitlist(t(100));
+        assert_eq!(e.stats().shed, shed + 1);
+        assert!(e.snapshot().periods.iter().all(|p| p.id != head));
+        assert!(e.snapshot().waitlists[0].is_empty());
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validated_config_rejects_zero_capacity_spec() {
+        let err = TopoConfig::validated(
+            TopoSpec::single(100, 0, 1000),
+            LayerSet::single(PolicyKind::Strict),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::topology::SpecError::ZeroCapacity {
+                node: NodeId(0),
+                kind: ResourceKind::MemBw,
+            }
+        );
+        assert!(TopoConfig::validated(
+            TopoSpec::single(100, 50, 1000),
+            LayerSet::single(PolicyKind::Strict),
+        )
+        .is_ok());
     }
 
     #[test]

@@ -187,6 +187,36 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Typed configuration error of a [`TopoSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// A node declares zero capacity for a constrained resource. The
+    /// placement score and the admission predicate both divide by (or
+    /// skip on) the capacity, so a zero-capacity node would silently
+    /// bypass gating for that kind instead of constraining it.
+    ZeroCapacity {
+        /// The offending node.
+        node: NodeId,
+        /// The kind with zero declared capacity.
+        kind: ResourceKind,
+    },
+    /// A topology with no nodes at all.
+    NoNodes,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroCapacity { node, kind } => {
+                write!(f, "{node} declares zero capacity for constrained resource {kind}")
+            }
+            SpecError::NoNodes => write!(f, "a topology needs at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// The capacity table of a topology: per node, one capacity per
 /// [`ResourceKind`]. This is the scheduler-facing form of the
 /// descriptive [`rda_machine::Topology`].
@@ -197,6 +227,32 @@ pub struct TopoSpec {
 }
 
 impl TopoSpec {
+    /// Build a validated spec: every node must declare nonzero
+    /// capacity for every constrained resource kind (see
+    /// [`SpecError::ZeroCapacity`]).
+    pub fn checked(caps: Vec<[u64; KIND_COUNT]>) -> Result<Self, SpecError> {
+        let spec = TopoSpec { caps };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validate the capacity table against [`SpecError`]'s rules.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.caps.is_empty() {
+            return Err(SpecError::NoNodes);
+        }
+        for (n, caps) in self.caps.iter().enumerate() {
+            for k in ResourceKind::ALL {
+                if caps[k.index()] == 0 {
+                    return Err(SpecError::ZeroCapacity {
+                        node: NodeId(n as u32),
+                        kind: k,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
     /// Build from a machine topology description.
     pub fn from_machine(t: &rda_machine::Topology) -> Self {
         TopoSpec {
@@ -262,6 +318,29 @@ mod tests {
             assert_eq!(Resource::from_index(ResourceSpace::index(r)), r);
         }
         assert_eq!(ResourceSpace::label(Resource::MemBandwidth), "membw");
+    }
+
+    #[test]
+    fn zero_capacity_constrained_resource_is_rejected() {
+        let err = TopoSpec::checked(vec![[100, 0, 1000]]).unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::ZeroCapacity {
+                node: NodeId(0),
+                kind: ResourceKind::MemBw,
+            }
+        );
+        assert_eq!(TopoSpec::checked(vec![]).unwrap_err(), SpecError::NoNodes);
+        let ok = TopoSpec::checked(vec![[100, 50, 1000]]).unwrap();
+        assert_eq!(ok.node_count(), 1);
+        assert!(TopoSpec::uniform(2, 100, 50, 1000).validate().is_ok());
+        // The error names the node and kind for operators.
+        let msg = SpecError::ZeroCapacity {
+            node: NodeId(3),
+            kind: ResourceKind::Llc,
+        }
+        .to_string();
+        assert!(msg.contains("node3") && msg.contains("llc"));
     }
 
     #[test]

@@ -119,6 +119,23 @@ pub struct PerfModel {
     params: PerfParams,
 }
 
+/// The DRAM-latency-invariant intermediates of one
+/// [`PerfModel::rates_with_dram`] evaluation (see
+/// [`PerfModel::rates_prelude`]).
+#[derive(Debug, Clone, Copy)]
+struct RatesPrelude {
+    h2: f64,
+    h3: f64,
+    m1: f64,
+    cover: f64,
+    cpi_base: f64,
+    mem_frac: f64,
+    l1_mpi: f64,
+    llc_api: f64,
+    llc_mpi: f64,
+    dram_bpi: f64,
+}
+
 impl PerfModel {
     /// Model with default calibration.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -183,6 +200,17 @@ impl PerfModel {
         share_bytes: u64,
         dram_cycles: f64,
     ) -> SegmentRates {
+        self.rates_eval(&self.rates_prelude(prof, share_bytes), dram_cycles)
+    }
+
+    /// The DRAM-latency-*invariant* part of [`Self::rates_with_dram`]:
+    /// every quantity that depends only on the profile and its LLC
+    /// share. The co-run solver computes this once per distinct entry
+    /// and re-evaluates only [`Self::rates_eval`] per fixed-point
+    /// iteration — hoisting, not reformulation, so every produced bit
+    /// is identical to the single-call path (`rates_with_dram` itself
+    /// is defined as prelude + eval).
+    fn rates_prelude(&self, prof: &AccessProfile, share_bytes: u64) -> RatesPrelude {
         let p = &self.params;
         let h1 = if prof.ws_bytes <= self.cfg.l1_bytes {
             // Fully L1-resident regions barely miss at all.
@@ -202,23 +230,37 @@ impl PerfModel {
         let llc_miss_per_memop = llc_access_per_memop * (1.0 - h3);
 
         let cover = p.prefetch_cover[idx(prof.reuse)];
-        let dram_stall = dram_cycles / p.mlp;
-        let beyond_l2 =
-            (h3 * self.cfg.llc_hit_cycles as f64 + (1.0 - h3) * dram_stall) * (1.0 - cover);
-        let stall_per_memop =
-            m1 * (h2 * self.cfg.l2_hit_cycles as f64 + (1.0 - h2) * beyond_l2);
-
-        let cpi = prof.cpi_base + prof.mem_frac * stall_per_memop;
-        let l1_mpi = prof.mem_frac * m1;
-        let llc_api = prof.mem_frac * llc_access_per_memop;
         let llc_mpi = prof.mem_frac * llc_miss_per_memop;
-
-        SegmentRates {
-            cpi,
-            l1_mpi,
-            llc_api,
+        RatesPrelude {
+            h2,
+            h3,
+            m1,
+            cover,
+            cpi_base: prof.cpi_base,
+            mem_frac: prof.mem_frac,
+            l1_mpi: prof.mem_frac * m1,
+            llc_api: prof.mem_frac * llc_access_per_memop,
             llc_mpi,
             dram_bpi: llc_mpi * self.cfg.line_bytes as f64,
+        }
+    }
+
+    /// The DRAM-latency-*dependent* tail of [`Self::rates_with_dram`]
+    /// (see [`Self::rates_prelude`]).
+    fn rates_eval(&self, pre: &RatesPrelude, dram_cycles: f64) -> SegmentRates {
+        let dram_stall = dram_cycles / self.params.mlp;
+        let beyond_l2 = (pre.h3 * self.cfg.llc_hit_cycles as f64
+            + (1.0 - pre.h3) * dram_stall)
+            * (1.0 - pre.cover);
+        let stall_per_memop =
+            pre.m1 * (pre.h2 * self.cfg.l2_hit_cycles as f64 + (1.0 - pre.h2) * beyond_l2);
+        let cpi = pre.cpi_base + pre.mem_frac * stall_per_memop;
+        SegmentRates {
+            cpi,
+            l1_mpi: pre.l1_mpi,
+            llc_api: pre.llc_api,
+            llc_mpi: pre.llc_mpi,
+            dram_bpi: pre.dram_bpi,
         }
     }
 
@@ -280,13 +322,27 @@ impl PerfModel {
             }
             rep[i] = found as u16;
         }
+        // The DRAM-invariant prelude of each representative entry,
+        // computed once (on the stack — this path must not allocate);
+        // the fixed-point loop re-evaluates only the latency-dependent
+        // tail. Reusing a prelude across iterations is hoisting of a
+        // pure function, so every bit matches the per-iteration path.
+        let mut pre = [None::<RatesPrelude>; MAX_DEDUP];
+        for (i, (prof, share)) in entries.iter().enumerate().take(MAX_DEDUP) {
+            if rep[i] as usize == i {
+                pre[i] = Some(self.rates_prelude(prof, *share));
+            }
+        }
         let peak_bpc = self.cfg.dram_bw_bytes_per_cycle();
         let mut dram_eff = self.cfg.dram_cycles as f64;
         for _ in 0..12 {
             rates.clear();
             for (i, (prof, share)) in entries.iter().enumerate() {
-                let r = if i < MAX_DEDUP && (rep[i] as usize) < i {
-                    rates[rep[i] as usize]
+                let r = if i < MAX_DEDUP {
+                    match &pre[i] {
+                        Some(p) => self.rates_eval(p, dram_eff),
+                        None => rates[rep[i] as usize],
+                    }
                 } else {
                     self.rates_with_dram(prof, *share, dram_eff)
                 };
